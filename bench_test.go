@@ -1,0 +1,193 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per artifact; see DESIGN.md §2), plus ablation benches
+// for the design choices called out in DESIGN.md §3. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benches run at the quick corpus scale so a full sweep stays
+// laptop-friendly; `cmd/experiments -scale default` regenerates the
+// default-scale numbers recorded in EXPERIMENTS.md.
+package iuad_test
+
+import (
+	"sync"
+	"testing"
+
+	"iuad/internal/core"
+	"iuad/internal/experiments"
+	"iuad/internal/synth"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.NewSuite(experiments.QuickOptions())
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func BenchmarkFig3PapersPerName(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig3(s.Dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PapersPerNameSlope, "slopeA")
+	}
+}
+
+func BenchmarkFig3PairFrequency(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig3(s.Dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PairFrequencySlope, "slopeB")
+	}
+}
+
+func BenchmarkTable3Comparison(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, results, err := experiments.RunTable3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Method == "IUAD" {
+				b.ReportMetric(r.Metrics.MicroF, "IUAD-F1")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4Stages(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, r, err := experiments.RunTable4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GCN.MicroR-r.SCN.MicroR, "recall-lift")
+	}
+}
+
+func BenchmarkTable5Scalability(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, points, err := experiments.RunTable5(s, []float64{0.5, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.Times["IUAD"].Seconds(), "IUAD-s/name")
+		b.ReportMetric(last.Times["GHOST"].Seconds(), "GHOST-s/name")
+	}
+}
+
+func BenchmarkFig5DataScale(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(s, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6Incremental(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, results, err := experiments.RunTable6(s, []int{100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(results[0].PerPaper.Microseconds())/1000, "ms/paper")
+	}
+}
+
+func BenchmarkFig6Similarity(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §3) ---
+
+func ablationRun(b *testing.B, mutate func(*core.Config)) {
+	s := benchSuite(b)
+	cfg := s.Opts.Core
+	mutate(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := core.Run(s.Corpus, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := experiments.NetworkMetrics(s.Corpus, pl.GCN, s.TestNames)
+		b.ReportMetric(m.MicroF, "MicroF")
+		b.ReportMetric(m.MicroP, "MicroP")
+		b.ReportMetric(m.MicroR, "MicroR")
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) {})
+}
+
+func BenchmarkAblationEta3(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) { cfg.Eta = 3 })
+}
+
+func BenchmarkAblationNoSplitBalance(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) { cfg.SplitMinPapers = 0 })
+}
+
+func BenchmarkAblationFullPairTraining(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) { cfg.SampleRate = 1.0 })
+}
+
+func BenchmarkAblationWLDepth1(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) { cfg.WLIterations = 1 })
+}
+
+func BenchmarkAblationAllPairsMerge(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) { cfg.Merge = core.MergeAllPairs })
+}
+
+func BenchmarkAblationSingleMergeRound(b *testing.B) {
+	ablationRun(b, func(cfg *core.Config) { cfg.MergeRounds = 1 })
+}
+
+// BenchmarkSynthGenerate measures raw corpus generation throughput.
+func BenchmarkSynthGenerate(b *testing.B) {
+	cfg := synth.DefaultConfig()
+	cfg.Authors = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		d := synth.Generate(cfg)
+		b.ReportMetric(float64(d.Corpus.Len()), "papers")
+	}
+}

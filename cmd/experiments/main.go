@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §2 for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	experiments -run all                 # everything, default scale
+//	experiments -run table3,table4      # selected artifacts
+//	experiments -scale quick            # small smoke-test corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"iuad/internal/experiments"
+)
+
+var runners = []string{"eq2", "fig3", "table3", "table4", "table5", "fig5", "table6", "fig6"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(runners, ",")+") or 'all'")
+		scale = flag.String("scale", "default", "corpus scale: default | quick")
+		seed  = flag.Int64("seed", 0, "override corpus seed (0 = config default)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, r := range runners {
+			want[r] = true
+		}
+	} else {
+		for _, r := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+	}
+
+	var opts experiments.Options
+	switch *scale {
+	case "default":
+		opts = experiments.DefaultOptions()
+	case "quick":
+		opts = experiments.QuickOptions()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		opts.Synth.Seed = *seed
+	}
+
+	if want["eq2"] {
+		tab := experiments.RunEq2()
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
+
+	start := time.Now()
+	s, err := experiments.NewSuite(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite: %d papers, %d names, %d test names (built in %v)\n\n",
+		s.Corpus.Len(), len(s.Corpus.Names()), len(s.TestNames),
+		time.Since(start).Round(time.Millisecond))
+
+	show := func(tab experiments.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if want["fig3"] {
+		r, err := experiments.RunFig3(s.Dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tab := range r.Tables() {
+			tab.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want["table3"] {
+		tab, results, err := experiments.RunTable3(s)
+		show(tab, err)
+		for _, r := range results {
+			fmt.Printf("  %-9s avg %v per name\n", r.Method, r.PerName.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	if want["table4"] {
+		tab, _, err := experiments.RunTable4(s)
+		show(tab, err)
+	}
+	if want["table5"] {
+		tab, _, err := experiments.RunTable5(s, nil)
+		show(tab, err)
+	}
+	if want["fig5"] {
+		tab, err := experiments.RunFig5(s, nil)
+		show(tab, err)
+	}
+	if want["table6"] {
+		tab, _, err := experiments.RunTable6(s, nil)
+		show(tab, err)
+	}
+	if want["fig6"] {
+		tabs, err := experiments.RunFig6(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tab := range tabs {
+			tab.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package baselines
+
+import (
+	"testing"
+
+	"iuad/internal/bib"
+	"iuad/internal/core"
+	"iuad/internal/eval"
+	"iuad/internal/synth"
+	"iuad/internal/textvec"
+)
+
+// twoAuthorCorpus builds a corpus where "Wei Wang" is two clearly
+// different authors: one publishes graph papers at KDD with partners
+// P1/P2, the other database papers at VLDB with partners Q1/Q2.
+func twoAuthorCorpus(t *testing.T) (*bib.Corpus, []bib.PaperID) {
+	t.Helper()
+	c := bib.NewCorpus(0)
+	add := func(title, venue string, year int, truth bib.AuthorID, coauthors ...string) {
+		p := bib.Paper{Title: title, Venue: venue, Year: year,
+			Authors: append([]string{"Wei Wang"}, coauthors...),
+			Truth:   []bib.AuthorID{truth}}
+		for range coauthors {
+			p.Truth = append(p.Truth, bib.AuthorID(100+len(p.Truth)))
+		}
+		c.MustAdd(p)
+	}
+	add("Graph Kernels Alpha", "KDD", 2010, 1, "P One", "P Two")
+	add("Graph Kernels Beta", "KDD", 2011, 1, "P One")
+	add("Graph Mining Gamma", "KDD", 2012, 1, "P Two", "P One")
+	add("Query Joins Alpha", "VLDB", 2010, 2, "Q One", "Q Two")
+	add("Query Joins Beta", "VLDB", 2011, 2, "Q One")
+	add("Query Index Gamma", "VLDB", 2012, 2, "Q Two", "Q One")
+	c.Freeze()
+	return c, c.PapersWithName("Wei Wang")
+}
+
+// assertSeparates checks the labeling puts papers 0-2 together, 3-5
+// together, and the two groups apart.
+func assertSeparates(t *testing.T, name string, labels []int) {
+	t.Helper()
+	if len(labels) != 6 {
+		t.Fatalf("%s: %d labels", name, len(labels))
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("%s split author 1: %v", name, labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatalf("%s split author 2: %v", name, labels)
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("%s merged the two authors: %v", name, labels)
+	}
+}
+
+func TestUnsupervisedBaselinesSeparateClearAuthors(t *testing.T) {
+	corpus, papers := twoAuthorCorpus(t)
+	for _, d := range []Disambiguator{NewANON(1), NewNetE(1), NewGHOST()} {
+		labels := d.Cluster(corpus, "Wei Wang", papers)
+		assertSeparates(t, d.Name(), labels)
+	}
+	// Aminer with global embeddings trained on this tiny corpus. It is
+	// deliberately conservative (paper: P=0.82, R=0.42), so only require
+	// that it never merges across the two true authors.
+	emb := core.TrainEmbeddings(corpus, fastEmbedding())
+	am := NewAminer(emb, 1)
+	labels := am.Cluster(corpus, "Wei Wang", papers)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			if labels[i] == labels[j] {
+				t.Fatalf("Aminer merged the two authors: %v", labels)
+			}
+		}
+	}
+}
+
+func fastEmbedding() textvec.Config {
+	c := textvec.DefaultConfig()
+	c.Dim = 16
+	c.Epochs = 4
+	c.MinCount = 1
+	return c
+}
+
+func TestBaselinesDegenerateInputs(t *testing.T) {
+	corpus, _ := twoAuthorCorpus(t)
+	for _, d := range []Disambiguator{NewANON(1), NewNetE(1), NewGHOST(), NewAminer(nil, 1)} {
+		if got := d.Cluster(corpus, "Wei Wang", nil); len(got) != 0 {
+			t.Fatalf("%s on empty input: %v", d.Name(), got)
+		}
+		one := d.Cluster(corpus, "Wei Wang", []bib.PaperID{0})
+		if len(one) != 1 || one[0] != 0 {
+			t.Fatalf("%s on single paper: %v", d.Name(), one)
+		}
+	}
+}
+
+func TestSupervisedTrainAndCluster(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Seed = 31
+	cfg.Authors = 400
+	cfg.Communities = 10
+	cfg.RepeatCollabBias = 0.75
+	d := synth.Generate(cfg)
+
+	amb := d.AmbiguousNames(2)
+	if len(amb) < 8 {
+		t.Fatalf("only %d ambiguous names", len(amb))
+	}
+	// Train on the second half of ambiguous names, evaluate on the first.
+	trainNames := amb[len(amb)/2:]
+	testNames := amb[:len(amb)/2]
+
+	for _, algo := range []Algo{AdaBoost, GBDT, RandomForest, XGBoost} {
+		s, err := TrainSupervised(d.Corpus, trainNames, algo, DefaultTrainingConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		var pc eval.PairCounts
+		for _, name := range testNames {
+			papers := d.Corpus.PapersWithName(name)
+			labels := s.Cluster(d.Corpus, name, papers)
+			ins := make([]eval.Instance, len(papers))
+			for i, pid := range papers {
+				p := d.Corpus.Paper(pid)
+				ins[i] = eval.Instance{
+					Cluster: labels[i],
+					Truth:   int(p.TruthAt(p.AuthorIndex(name))),
+				}
+			}
+			pc.AddName(ins)
+		}
+		m := pc.Metrics()
+		t.Logf("%v: %v", s.Name(), m)
+		if m.MicroF < 0.5 {
+			t.Errorf("%v MicroF=%.3f, want ≥0.5 (should beat chance clearly)", algo, m.MicroF)
+		}
+	}
+}
+
+func TestSupervisedNeedsLabels(t *testing.T) {
+	c := bib.NewCorpus(0)
+	c.MustAdd(bib.Paper{Title: "t", Authors: []string{"A"}})
+	c.Freeze()
+	if _, err := TrainSupervised(c, []string{"A"}, AdaBoost, DefaultTrainingConfig()); err == nil {
+		t.Fatal("unlabeled corpus accepted")
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if AdaBoost.String() != "AdaBoost" || XGBoost.String() != "XGBoost" ||
+		RandomForest.String() != "RF" || GBDT.String() != "GBDT" {
+		t.Fatal("Algo names wrong")
+	}
+}

@@ -1,0 +1,181 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iuad/internal/bib"
+	"iuad/internal/cluster"
+	"iuad/internal/ensemble"
+	"iuad/internal/features"
+)
+
+// Algo selects the supervised learner (§VI-A3 compares four).
+type Algo int
+
+// Supported supervised learners.
+const (
+	AdaBoost Algo = iota
+	GBDT
+	RandomForest
+	XGBoost
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AdaBoost:
+		return "AdaBoost"
+	case GBDT:
+		return "GBDT"
+	case RandomForest:
+		return "RF"
+	case XGBoost:
+		return "XGBoost"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// Supervised wraps a pairwise same-author classifier: each paper pair of
+// a name is classified, and papers are grouped by the transitive closure
+// of positive predictions — the standard pairwise-then-cluster protocol.
+type Supervised struct {
+	algo Algo
+	clf  ensemble.Classifier
+	ex   *features.Extractor
+}
+
+// TrainingConfig controls supervised training-set assembly.
+type TrainingConfig struct {
+	// MaxPairsPerName caps pairs sampled per training name.
+	MaxPairsPerName int
+	Seed            int64
+}
+
+// DefaultTrainingConfig bounds per-name pair explosion.
+func DefaultTrainingConfig() TrainingConfig {
+	return TrainingConfig{MaxPairsPerName: 400, Seed: 1}
+}
+
+// TrainSupervised fits a pairwise classifier from ground-truth labels on
+// trainNames (which must be disjoint from the evaluation names). The
+// corpus must be labeled.
+func TrainSupervised(corpus *bib.Corpus, trainNames []string, algo Algo, cfg TrainingConfig) (*Supervised, error) {
+	if !corpus.Labeled() {
+		return nil, fmt.Errorf("baselines: supervised training needs a labeled corpus")
+	}
+	if cfg.MaxPairsPerName <= 0 {
+		cfg.MaxPairsPerName = 400
+	}
+	ex := features.NewExtractor(corpus)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var x [][]float64
+	var y []bool
+	for _, name := range trainNames {
+		papers := corpus.PapersWithName(name)
+		if len(papers) < 2 {
+			continue
+		}
+		type pair struct{ a, b int }
+		var pairs []pair
+		for i := 0; i < len(papers); i++ {
+			for j := i + 1; j < len(papers); j++ {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+		if len(pairs) > cfg.MaxPairsPerName {
+			rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+			pairs = pairs[:cfg.MaxPairsPerName]
+		}
+		for _, pr := range pairs {
+			pa, pb := papers[pr.a], papers[pr.b]
+			x = append(x, ex.PairFeatures(pa, pb, name))
+			y = append(y, sameAuthor(corpus, pa, pb, name))
+		}
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("baselines: no training pairs from %d names", len(trainNames))
+	}
+	x, y = balance(x, y, rng)
+	s := &Supervised{algo: algo, ex: ex}
+	switch algo {
+	case AdaBoost:
+		s.clf = ensemble.TrainAdaBoost(x, y, ensemble.AdaConfig{Rounds: 60, StumpDepth: 2})
+	case GBDT:
+		s.clf = ensemble.TrainBoost(x, y, ensemble.DefaultGBDTConfig())
+	case RandomForest:
+		s.clf = ensemble.TrainForest(x, y, ensemble.ForestConfig{Trees: 50, MaxDepth: 8, Seed: cfg.Seed})
+	case XGBoost:
+		s.clf = ensemble.TrainBoost(x, y, ensemble.DefaultXGBConfig())
+	default:
+		return nil, fmt.Errorf("baselines: unknown algo %v", algo)
+	}
+	return s, nil
+}
+
+// balance downsamples the majority class to a 1:1 ratio. Without it the
+// heavily positive-skewed pair distribution teaches the classifiers to
+// answer "same author" always, and the transitive closure then merges
+// whole names into one cluster.
+func balance(x [][]float64, y []bool, rng *rand.Rand) ([][]float64, []bool) {
+	var posIdx, negIdx []int
+	for i, yi := range y {
+		if yi {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(posIdx) == 0 || len(negIdx) == 0 {
+		return x, y
+	}
+	major, minor := posIdx, negIdx
+	if len(negIdx) > len(posIdx) {
+		major, minor = negIdx, posIdx
+	}
+	rng.Shuffle(len(major), func(i, j int) { major[i], major[j] = major[j], major[i] })
+	keep := append(append([]int(nil), minor...), major[:len(minor)]...)
+	bx := make([][]float64, 0, len(keep))
+	by := make([]bool, 0, len(keep))
+	for _, i := range keep {
+		bx = append(bx, x[i])
+		by = append(by, y[i])
+	}
+	return bx, by
+}
+
+func sameAuthor(corpus *bib.Corpus, a, b bib.PaperID, name string) bool {
+	pa, pb := corpus.Paper(a), corpus.Paper(b)
+	ta := pa.TruthAt(pa.AuthorIndex(name))
+	tb := pb.TruthAt(pb.AuthorIndex(name))
+	return ta != bib.UnknownAuthor && ta == tb
+}
+
+// Name implements Disambiguator.
+func (s *Supervised) Name() string { return s.algo.String() }
+
+// Cluster implements Disambiguator: papers are grouped by average-
+// linkage HAC over the classifier's pairwise same-author probabilities
+// (distance 1−p, merge threshold 0.5). Average linkage is the standard
+// robust aggregation for pairwise disambiguation — naive transitive
+// closure of positive decisions lets a single false-positive pair fuse
+// two whole authors.
+func (s *Supervised) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID) []int {
+	n := len(papers)
+	if n < 2 {
+		return singletons(n)
+	}
+	prob := make([][]float64, n)
+	for i := range prob {
+		prob[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			f := s.ex.PairFeatures(papers[i], papers[j], name)
+			p := s.clf.PredictProb(f)
+			prob[i][j] = p
+			prob[j][i] = p
+		}
+	}
+	dist := func(i, j int) float64 { return 1 - prob[i][j] }
+	return cluster.HAC(n, dist, cluster.AverageLinkage, 0.5)
+}

@@ -1,0 +1,288 @@
+package baselines
+
+import (
+	"math"
+
+	"iuad/internal/bib"
+	"iuad/internal/cluster"
+	"iuad/internal/embed"
+	"iuad/internal/graph"
+	"iuad/internal/textvec"
+)
+
+// ANON is the ego-network embedding + hierarchical agglomerative
+// clustering baseline (Zhang & Al Hasan, CIKM 2017 [22]).
+type ANON struct {
+	// Threshold is the HAC cosine-distance merge threshold.
+	Threshold float64
+	Walk      embed.Config
+}
+
+// NewANON returns the default parameterization.
+func NewANON(seed int64) *ANON {
+	w := embed.DefaultConfig()
+	w.Seed = seed
+	w.Dim = 32
+	w.WalksPerVertex = 6
+	w.WalkLength = 12
+	w.Epochs = 2
+	return &ANON{Threshold: 0.45, Walk: w}
+}
+
+// Name implements Disambiguator.
+func (a *ANON) Name() string { return "ANON" }
+
+// Cluster implements Disambiguator.
+func (a *ANON) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID) []int {
+	n := len(papers)
+	if n < 2 {
+		return singletons(n)
+	}
+	ego := buildEgoNetwork(corpus, name, papers)
+	emb := embed.DeepWalk(ego.g, a.Walk)
+	dist := func(i, j int) float64 { return emb.Distance(i, j) }
+	return cluster.HAC(n, dist, cluster.AverageLinkage, a.Threshold)
+}
+
+// NetE is the multi-relation network embedding baseline (Xu et al., CIKM
+// 2018 [23]): papers are linked through shared co-authors, venues and
+// title words; the combined graph is embedded and clustered with
+// HDBSCAN.
+type NetE struct {
+	Walk    embed.Config
+	HDBSCAN cluster.HDBSCANConfig
+}
+
+// NewNetE returns the default parameterization.
+func NewNetE(seed int64) *NetE {
+	w := embed.DefaultConfig()
+	w.Seed = seed
+	w.Dim = 32
+	w.WalksPerVertex = 6
+	w.WalkLength = 12
+	w.Epochs = 2
+	return &NetE{
+		Walk:    w,
+		HDBSCAN: cluster.HDBSCANConfig{MinPts: 2, MinClusterSize: 2, CutRatio: 2.5},
+	}
+}
+
+// Name implements Disambiguator.
+func (ne *NetE) Name() string { return "NetE" }
+
+// paperCtx caches the relation-building view of one paper.
+type paperCtx struct {
+	coauth map[string]struct{}
+	words  map[string]struct{}
+	venue  string
+}
+
+func newPaperCtx(p *bib.Paper, target string) paperCtx {
+	c := paperCtx{coauth: map[string]struct{}{}, words: map[string]struct{}{}, venue: p.Venue}
+	for _, a := range p.Authors {
+		if a != target {
+			c.coauth[a] = struct{}{}
+		}
+	}
+	for _, w := range bib.Keywords(p.Title) {
+		c.words[w] = struct{}{}
+	}
+	return c
+}
+
+// related decides whether two papers are linked in NetE's multigraph: a
+// shared co-author, a shared venue, or ≥2 shared keywords.
+func related(a, b *paperCtx) bool {
+	for x := range a.coauth {
+		if _, ok := b.coauth[x]; ok {
+			return true
+		}
+	}
+	if a.venue != "" && a.venue == b.venue {
+		return true
+	}
+	shared := 0
+	small, large := a.words, b.words
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for w := range small {
+		if _, ok := large[w]; ok {
+			shared++
+			if shared >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Cluster implements Disambiguator.
+func (ne *NetE) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID) []int {
+	n := len(papers)
+	if n < 2 {
+		return singletons(n)
+	}
+	g := graph.New(n)
+	ctxs := make([]paperCtx, n)
+	for i, pid := range papers {
+		ctxs[i] = newPaperCtx(corpus.Paper(pid), name)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if related(&ctxs[i], &ctxs[j]) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	emb := embed.DeepWalk(g, ne.Walk)
+	dist := func(i, j int) float64 { return emb.Distance(i, j) }
+	return cluster.HDBSCAN(n, dist, ne.HDBSCAN)
+}
+
+// Aminer combines a global text representation with a local ego-network
+// embedding and clusters with HAC (Zhang et al., KDD 2018 [33]). The
+// global side uses corpus-wide SGNS keyword vectors (the paper's
+// human-in-the-loop fine-tuning has no offline equivalent; DESIGN.md
+// substitution 5).
+type Aminer struct {
+	Threshold float64
+	Walk      embed.Config
+	// Global holds the corpus-wide keyword embeddings.
+	Global *textvec.Embeddings
+}
+
+// NewAminer returns the default parameterization. global may be nil, in
+// which case only the local structural embedding is used. The threshold
+// is deliberately conservative: the original system behaves high-
+// precision / low-recall (Table III: MicroP 0.82, MicroR 0.42).
+func NewAminer(global *textvec.Embeddings, seed int64) *Aminer {
+	w := embed.DefaultConfig()
+	w.Seed = seed
+	w.Dim = 32
+	w.WalksPerVertex = 6
+	w.WalkLength = 12
+	w.Epochs = 2
+	return &Aminer{Threshold: 0.35, Walk: w, Global: global}
+}
+
+// Name implements Disambiguator.
+func (am *Aminer) Name() string { return "Aminer" }
+
+// Cluster implements Disambiguator.
+func (am *Aminer) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID) []int {
+	n := len(papers)
+	if n < 2 {
+		return singletons(n)
+	}
+	ego := buildEgoNetwork(corpus, name, papers)
+	local := embed.DeepWalk(ego.g, am.Walk)
+	var centroids [][]float64
+	if am.Global != nil {
+		centroids = make([][]float64, n)
+		for i, pid := range papers {
+			centroids[i] = am.Global.CenteredCentroid(bib.Keywords(corpus.Paper(pid).Title))
+		}
+	}
+	dist := func(i, j int) float64 {
+		d := local.Distance(i, j)
+		if centroids != nil {
+			gd := 1 - textvec.Cosine(centroids[i], centroids[j])
+			d = (d + gd) / 2
+		}
+		return d
+	}
+	return cluster.HAC(n, dist, cluster.AverageLinkage, am.Threshold)
+}
+
+// GHOST is the path-based graph method (Fan et al., JDIQ 2011 [27]): the
+// co-author graph of the name's ego view (target vertex removed), paper
+// similarity from valid paths between the papers' co-author sets, and
+// affinity propagation for grouping.
+type GHOST struct {
+	// MaxPathLen bounds the path enumeration (§: GHOST uses valid paths;
+	// enumeration cost explodes beyond 3-4 hops).
+	MaxPathLen int
+	// PathCap caps the number of counted paths per (u,v) pair.
+	PathCap int
+	AP      cluster.APConfig
+}
+
+// NewGHOST returns the default parameterization.
+func NewGHOST() *GHOST {
+	return &GHOST{MaxPathLen: 3, PathCap: 64, AP: cluster.DefaultAPConfig()}
+}
+
+// Name implements Disambiguator.
+func (gh *GHOST) Name() string { return "GHOST" }
+
+// Cluster implements Disambiguator.
+func (gh *GHOST) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID) []int {
+	n := len(papers)
+	if n < 2 {
+		return singletons(n)
+	}
+	// Co-author graph without the target vertex: co-author names are
+	// vertices; an edge joins names co-occurring in one of the papers.
+	idOf := map[string]int{}
+	g := graph.New(0)
+	coOf := make([][]int, n)
+	for i, pid := range papers {
+		p := corpus.Paper(pid)
+		var ids []int
+		for _, a := range p.Authors {
+			if a == name {
+				continue
+			}
+			id, ok := idOf[a]
+			if !ok {
+				id = g.AddVertex()
+				idOf[a] = id
+			}
+			ids = append(ids, id)
+		}
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				if ids[x] != ids[y] {
+					g.AddEdge(ids[x], ids[y])
+				}
+			}
+		}
+		coOf[i] = ids
+	}
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := gh.pairSimilarity(g, coOf[i], coOf[j])
+			sim[i][j] = s
+			sim[j][i] = s
+		}
+	}
+	return cluster.AffinityPropagation(sim, gh.AP)
+}
+
+// pairSimilarity scores two papers by the connectivity of their
+// co-author sets: identical co-authors count 1; otherwise simple paths of
+// length L contribute 2^−L each.
+func (gh *GHOST) pairSimilarity(g *graph.Graph, a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, u := range a {
+		for _, v := range b {
+			if u == v {
+				total++
+				continue
+			}
+			for l := 1; l <= gh.MaxPathLen; l++ {
+				c := g.CountPaths(u, v, l, gh.PathCap)
+				total += float64(c) * math.Pow(2, -float64(l))
+			}
+		}
+	}
+	return total / float64(len(a)*len(b))
+}

@@ -1,0 +1,100 @@
+package bib
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonPaper is the on-disk record format: one JSON object per line
+// (JSONL), so multi-hundred-MB corpora stream without loading the decoder
+// state of a giant array.
+type jsonPaper struct {
+	Title   string   `json:"title"`
+	Venue   string   `json:"venue,omitempty"`
+	Year    int      `json:"year,omitempty"`
+	Authors []string `json:"authors"`
+	Truth   []int32  `json:"truth,omitempty"`
+}
+
+// WriteJSON streams the corpus to w as JSON lines.
+func WriteJSON(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for i := range c.Papers() {
+		p := &c.Papers()[i]
+		rec := jsonPaper{
+			Title:   p.Title,
+			Venue:   p.Venue,
+			Year:    p.Year,
+			Authors: p.Authors,
+		}
+		if len(p.Truth) > 0 {
+			rec.Truth = make([]int32, len(p.Truth))
+			for j, t := range p.Truth {
+				rec.Truth[j] = int32(t)
+			}
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("bib: encoding paper %d: %w", p.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON streams a JSONL corpus from r and returns it frozen.
+func ReadJSON(r io.Reader) (*Corpus, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	c := NewCorpus(1024)
+	for line := 0; ; line++ {
+		var rec jsonPaper
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("bib: record %d: %w", line, err)
+		}
+		p := Paper{
+			Title:   rec.Title,
+			Venue:   rec.Venue,
+			Year:    rec.Year,
+			Authors: rec.Authors,
+		}
+		if len(rec.Truth) > 0 {
+			p.Truth = make([]AuthorID, len(rec.Truth))
+			for j, t := range rec.Truth {
+				p.Truth[j] = AuthorID(t)
+			}
+		}
+		if _, err := c.Add(p); err != nil {
+			return nil, fmt.Errorf("bib: record %d: %w", line, err)
+		}
+	}
+	c.Freeze()
+	return c, nil
+}
+
+// SaveFile writes the corpus to path as JSONL.
+func SaveFile(path string, c *Corpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSONL corpus from path.
+func LoadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

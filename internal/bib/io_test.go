@@ -1,0 +1,82 @@
+package bib
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus(0)
+	c.MustAdd(Paper{
+		Title: "Streaming Joins", Venue: "VLDB", Year: 2018,
+		Authors: []string{"Ann Lee", "Bo Chen"},
+		Truth:   []AuthorID{10, 11},
+	})
+	c.MustAdd(Paper{
+		Title: "Graph Kernels", Venue: "KDD", Year: 2015,
+		Authors: []string{"Cara Diaz"},
+	})
+	c.Freeze()
+	return c
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := sampleCorpus(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("round trip Len=%d, want %d", got.Len(), c.Len())
+	}
+	p := got.Paper(0)
+	if p.Title != "Streaming Joins" || p.Venue != "VLDB" || p.Year != 2018 {
+		t.Fatalf("round trip paper 0 = %+v", p)
+	}
+	if p.TruthAt(1) != 11 {
+		t.Fatalf("round trip truth = %d, want 11", p.TruthAt(1))
+	}
+	if got.Paper(1).TruthAt(0) != UnknownAuthor {
+		t.Fatal("unlabeled paper gained truth labels in round trip")
+	}
+	if !got.Frozen() {
+		t.Fatal("ReadJSON result not frozen")
+	}
+}
+
+func TestReadJSONRejectsBadRecord(t *testing.T) {
+	// Paper without authors must fail validation.
+	_, err := ReadJSON(strings.NewReader(`{"title":"x","authors":[]}`))
+	if err == nil {
+		t.Fatal("ReadJSON accepted authorless record")
+	}
+	_, err = ReadJSON(strings.NewReader(`{not json`))
+	if err == nil {
+		t.Fatal("ReadJSON accepted malformed JSON")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c := sampleCorpus(t)
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := SaveFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("LoadFile Len=%d", got.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("LoadFile of missing path succeeded")
+	}
+}

@@ -1,0 +1,70 @@
+package bib
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestParseDBLPLatin1 feeds a document with genuine ISO-8859-1 bytes
+// (0xE9 = é) through the parser, exercising the charset reader the real
+// dump needs.
+func TestParseDBLPLatin1(t *testing.T) {
+	doc := `<?xml version="1.0" encoding="ISO-8859-1"?>` +
+		"<dblp><article key=\"k\"><author>Ren\xe9 Dupont</author>" +
+		"<title>Th\xe9orie des Graphes.</title><journal>J</journal>" +
+		"<year>1999</year></article></dblp>"
+	c, stats, err := ParseDBLP(strings.NewReader(doc), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Kept != 1 {
+		t.Fatalf("kept=%d", stats.Kept)
+	}
+	if got := c.Paper(0).Authors[0]; got != "René Dupont" {
+		t.Fatalf("author=%q, want René Dupont", got)
+	}
+	if got := c.Paper(0).Title; got != "Théorie des Graphes." {
+		t.Fatalf("title=%q", got)
+	}
+}
+
+func TestLatin1ReaderSmallBuffers(t *testing.T) {
+	// Every byte ≥ 0x80 expands to two UTF-8 bytes; reading through a
+	// 1-byte destination must still deliver the full expansion.
+	src := strings.NewReader("a\xe9b\xfc")
+	r, err := charsetReader("latin1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := string(out); got != "aébü" {
+		t.Fatalf("decoded %q", got)
+	}
+}
+
+func TestCharsetReaderUnknown(t *testing.T) {
+	if _, err := charsetReader("shift-jis", strings.NewReader("")); err == nil {
+		t.Fatal("unknown charset accepted")
+	}
+	// UTF-8 passes through unchanged.
+	r, err := charsetReader("UTF-8", strings.NewReader("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r)
+	if string(b) != "xyz" {
+		t.Fatalf("utf-8 passthrough=%q", b)
+	}
+}

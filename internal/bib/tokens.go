@@ -1,0 +1,66 @@
+package bib
+
+import "strings"
+
+// stopWords are high-frequency English and bibliographic tokens excluded
+// from research-interest keywords (§V-B2: "the stop words or the frequent
+// words in paper titles are excluded").
+var stopWords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "an", "and", "are", "as", "at", "based", "be", "between", "by",
+		"can", "do", "for", "from", "how", "in", "into", "is", "its", "new",
+		"non", "not", "of", "on", "or", "over", "some", "study", "that",
+		"the", "their", "to", "toward", "towards", "under", "using", "via",
+		"we", "what", "when", "where", "which", "with", "within", "without",
+	} {
+		stopWords[w] = struct{}{}
+	}
+}
+
+// IsStopWord reports whether the lowercased token w is excluded from
+// keyword extraction.
+func IsStopWord(w string) bool {
+	_, ok := stopWords[w]
+	return ok
+}
+
+// TitleTokens splits a title into lowercased alphanumeric tokens. It does
+// not remove stop words; Keywords does.
+func TitleTokens(title string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Keywords returns the title tokens with stop words and single-character
+// tokens removed. These are the "keywords" of §V-B2.
+func Keywords(title string) []string {
+	toks := TitleTokens(title)
+	out := toks[:0]
+	for _, t := range toks {
+		if len(t) <= 1 || IsStopWord(t) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package bib
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTitleTokens(t *testing.T) {
+	tests := []struct {
+		title string
+		want  []string
+	}{
+		{"Deep Graph Kernels", []string{"deep", "graph", "kernels"}},
+		{"On-Line A/B Testing!", []string{"on", "line", "a", "b", "testing"}},
+		{"  ", nil},
+		{"", nil},
+		{"K2-trees & succinct-ness", []string{"k2", "trees", "succinct", "ness"}},
+		{"Ünïcode Títles", []string{"n", "code", "t", "tles"}}, // non-ASCII split points
+		{"CNN2015 models", []string{"cnn2015", "models"}},
+	}
+	for _, tc := range tests {
+		if got := TitleTokens(tc.title); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("TitleTokens(%q)=%v, want %v", tc.title, got, tc.want)
+		}
+	}
+}
+
+func TestKeywordsDropsStopAndShortWords(t *testing.T) {
+	got := Keywords("On the Design of a Streaming DB")
+	want := []string{"design", "streaming", "db"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keywords=%v, want %v", got, want)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	if !IsStopWord("the") || IsStopWord("kernel") {
+		t.Fatal("IsStopWord wrong")
+	}
+}
+
+func TestKeywordsAllStopWords(t *testing.T) {
+	if got := Keywords("on the of a"); len(got) != 0 {
+		t.Fatalf("Keywords of all-stopword title = %v, want empty", got)
+	}
+}

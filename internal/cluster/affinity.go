@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// APConfig tunes affinity propagation (Frey & Dueck, Science 2007).
+type APConfig struct {
+	// Damping in [0.5,1): message damping factor. Defaults to 0.7.
+	Damping float64
+	// MaxIter bounds iterations. Defaults to 200.
+	MaxIter int
+	// ConvergenceIter stops early after this many iterations without an
+	// exemplar change. Defaults to 15.
+	ConvergenceIter int
+	// Preference is the self-similarity s(k,k). When NaN-like sentinel
+	// PreferenceMedian is set, the median of the input similarities is
+	// used (the standard default).
+	Preference       float64
+	PreferenceMedian bool
+}
+
+// DefaultAPConfig returns the standard parameterization (damping 0.5,
+// matching the reference implementation's default; higher damping can
+// freeze uniform-block similarity matrices into all-singleton states).
+func DefaultAPConfig() APConfig {
+	return APConfig{Damping: 0.5, MaxIter: 200, ConvergenceIter: 15, PreferenceMedian: true}
+}
+
+// AffinityPropagation clusters items given a full similarity matrix
+// (higher = more similar) and returns dense labels. Each cluster is
+// identified by its exemplar.
+func AffinityPropagation(sim [][]float64, cfg APConfig) []int {
+	n := len(sim)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	if cfg.Damping < 0.5 || cfg.Damping >= 1 {
+		cfg.Damping = 0.7
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 200
+	}
+	if cfg.ConvergenceIter <= 0 {
+		cfg.ConvergenceIter = 15
+	}
+	// Working copy with preferences on the diagonal.
+	s := make([][]float64, n)
+	var all []float64
+	for i := 0; i < n; i++ {
+		s[i] = append([]float64(nil), sim[i]...)
+		for j := 0; j < n; j++ {
+			if i != j {
+				all = append(all, sim[i][j])
+			}
+		}
+	}
+	pref := cfg.Preference
+	if cfg.PreferenceMedian {
+		sort.Float64s(all)
+		if len(all) > 0 {
+			pref = all[len(all)/2]
+		}
+	}
+	for i := 0; i < n; i++ {
+		s[i][i] = pref
+	}
+	// Deterministic tie-breaking jitter: exact similarity ties make the
+	// message passing oscillate (the classic AP degeneracy); a tiny
+	// index-dependent perturbation, scaled to the similarity range,
+	// breaks them without affecting real structure.
+	lo, hi := s[0][0], s[0][0]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if s[i][j] < lo {
+				lo = s[i][j]
+			}
+			if s[i][j] > hi {
+				hi = s[i][j]
+			}
+		}
+	}
+	scale := (hi - lo) * 1e-9
+	if scale == 0 {
+		scale = 1e-12
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s[i][j] += scale * rng.Float64()
+		}
+	}
+
+	r := make([][]float64, n) // responsibilities
+	a := make([][]float64, n) // availabilities
+	for i := range r {
+		r[i] = make([]float64, n)
+		a[i] = make([]float64, n)
+	}
+	prevExemplars := ""
+	stable := 0
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Update responsibilities.
+		for i := 0; i < n; i++ {
+			// top two values of a[i][k']+s[i][k'].
+			best, second, bestK := negInf, negInf, -1
+			for k := 0; k < n; k++ {
+				v := a[i][k] + s[i][k]
+				if v > best {
+					second = best
+					best, bestK = v, k
+				} else if v > second {
+					second = v
+				}
+			}
+			for k := 0; k < n; k++ {
+				max := best
+				if k == bestK {
+					max = second
+				}
+				newR := s[i][k] - max
+				r[i][k] = cfg.Damping*r[i][k] + (1-cfg.Damping)*newR
+			}
+		}
+		// Update availabilities.
+		colPos := make([]float64, n)
+		for k := 0; k < n; k++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				if i != k && r[i][k] > 0 {
+					sum += r[i][k]
+				}
+			}
+			colPos[k] = sum
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				var newA float64
+				if i == k {
+					newA = colPos[k]
+				} else {
+					v := r[k][k] + colPos[k]
+					if r[i][k] > 0 {
+						v -= r[i][k]
+					}
+					if v > 0 {
+						v = 0
+					}
+					newA = v
+				}
+				a[i][k] = cfg.Damping*a[i][k] + (1-cfg.Damping)*newA
+			}
+		}
+		// Check exemplar stability. The empty exemplar set is the
+		// initial transient, not a converged state — waiting for a
+		// non-empty set prevents stopping before messages warm up.
+		sig := exemplarSignature(r, a)
+		if sig == prevExemplars && strings.ContainsRune(sig, '1') {
+			stable++
+			if stable >= cfg.ConvergenceIter {
+				break
+			}
+		} else {
+			stable = 0
+			prevExemplars = sig
+		}
+	}
+
+	// Final assignment: exemplars are points with r(k,k)+a(k,k) > 0;
+	// every point joins its best exemplar.
+	var exemplars []int
+	for k := 0; k < n; k++ {
+		if r[k][k]+a[k][k] > 0 {
+			exemplars = append(exemplars, k)
+		}
+	}
+	labels := make([]int, n)
+	if len(exemplars) == 0 {
+		// Degenerate run: everyone is their own cluster.
+		for i := range labels {
+			labels[i] = i
+		}
+		return labels
+	}
+	id := make(map[int]int, len(exemplars))
+	for idx, e := range exemplars {
+		id[e] = idx
+	}
+	for i := 0; i < n; i++ {
+		if cid, isEx := id[i]; isEx {
+			labels[i] = cid
+			continue
+		}
+		bestK, best := exemplars[0], negInf
+		for _, e := range exemplars {
+			if s[i][e] > best {
+				best, bestK = s[i][e], e
+			}
+		}
+		labels[i] = id[bestK]
+	}
+	return labels
+}
+
+const negInf = -1e308
+
+func exemplarSignature(r, a [][]float64) string {
+	sig := make([]byte, len(r))
+	for k := range r {
+		if r[k][k]+a[k][k] > 0 {
+			sig[k] = '1'
+		} else {
+			sig[k] = '0'
+		}
+	}
+	return string(sig)
+}

@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iuad/internal/bib"
+	"iuad/internal/emfit"
+	"iuad/internal/textvec"
+)
+
+// Pipeline is the result of running IUAD on a corpus, and the handle for
+// incremental disambiguation of newly published papers.
+type Pipeline struct {
+	Corpus *bib.Corpus
+	Cfg    Config
+	// SCN is the stage-1 stable collaboration network.
+	SCN *Network
+	// GCN is the stage-2 global collaboration network (merged vertices +
+	// recovered collaborative relations).
+	GCN *Network
+	// Model is the fitted generative model used for merging and for
+	// incremental decisions.
+	Model *emfit.Model
+	// Emb holds the title-keyword vectors behind γ³.
+	Emb *textvec.Embeddings
+	// TrainingPairs is how many candidate pairs the EM fit consumed
+	// (diagnostics for the §V-F sampling strategy).
+	TrainingPairs int
+	// CalibratedDelta is the self-calibrated decision threshold (the
+	// (1−FalseMatchRate) quantile of known-different anchor scores);
+	// Config.Delta offsets it.
+	CalibratedDelta float64
+
+	extra        []bib.Paper // incrementally added papers
+	sim          *similarityComputer
+	scored       []ScoredPair
+	forcedMerges [][2]int // curator same-author labels (SCN vertex pairs)
+}
+
+// ScoredPair is a candidate same-name SCN vertex pair with its fitted
+// log-odds matching score (Eq. 11). Retained so threshold sweeps (Fig. 6)
+// can re-merge without recomputing similarities or refitting EM.
+type ScoredPair struct {
+	A, B  int
+	Score float64
+}
+
+// Run executes the full two-stage IUAD algorithm (Alg. 1).
+func Run(corpus *bib.Corpus, cfg Config) (*Pipeline, error) {
+	scn, err := BuildSCN(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	emb := TrainEmbeddings(corpus, cfg.Embedding)
+	return BuildGCN(corpus, scn, emb, cfg)
+}
+
+// TrainEmbeddings fits SGNS keyword vectors on the corpus titles.
+func TrainEmbeddings(corpus *bib.Corpus, cfg textvec.Config) *textvec.Embeddings {
+	sentences := make([][]string, 0, corpus.Len())
+	for i := 0; i < corpus.Len(); i++ {
+		kw := bib.Keywords(corpus.Paper(bib.PaperID(i)).Title)
+		if len(kw) >= 2 {
+			sentences = append(sentences, kw)
+		}
+	}
+	return textvec.Train(sentences, cfg)
+}
+
+// candidatePair is one same-name vertex pair r_j with its similarity
+// vector γ_j.
+type candidatePair struct {
+	a, b  int
+	gamma []float64
+}
+
+// BuildGCN runs stage 2 (§V) on a previously built SCN. It is exposed
+// separately from Run so the Table IV stage analysis and the Fig. 6
+// single-similarity sweeps can reuse a stage-1 network.
+func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &Pipeline{Corpus: corpus, Cfg: cfg, SCN: scn, Emb: emb}
+	sim := newSimilarityComputer(scn, corpusSource{corpus}, emb, &cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pairs := collectCandidatePairs(scn, sim, &cfg, rng)
+	labeled := resolveLabels(scn, &cfg)
+
+	model, calibration, err := fitModel(pairs, labeled, sim, &cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	pl.Model = model
+	pl.CalibratedDelta = calibration
+	pl.TrainingPairs = len(pairs)
+
+	// Decision making (Alg. 1 lines 11-15): merge pairs with score ≥ δ,
+	// where δ = calibrated operating point + configured offset.
+	pl.scored = make([]ScoredPair, len(pairs))
+	for i, cp := range pairs {
+		pl.scored[i] = ScoredPair{A: cp.a, B: cp.b, Score: model.LogOdds(cp.gamma)}
+	}
+	// Curator same-author labels are decisions, not just evidence: they
+	// merge unconditionally (the semi-supervised extension).
+	pl.forcedMerges = pl.forcedMerges[:0]
+	for _, lp := range labeled {
+		if lp.same {
+			pl.forcedMerges = append(pl.forcedMerges, [2]int{lp.a, lp.b})
+		}
+	}
+	pl.GCN = pl.mergeAt(calibration + cfg.Delta)
+
+	// Iterative refinement (MergeRounds > 1): rescore the contracted
+	// network with the same model; merged vertices carry richer profiles
+	// and attach further fragments at the unchanged threshold.
+	// Each refinement round is stricter: merged vertices carry larger
+	// profiles whose similarity scores inflate, so holding the first-
+	// round threshold would compound early mistakes.
+	for round := 1; round < cfg.MergeRounds; round++ {
+		before := pl.GCN.VertexCount()
+		pl.GCN = pl.refineOnce(pl.GCN, calibration+cfg.Delta+refinePenalty*float64(round), rng)
+		if pl.GCN.VertexCount() == before {
+			break
+		}
+	}
+	pl.sim = newSimilarityComputer(pl.GCN, pl, pl.Emb, &pl.Cfg)
+	return pl, nil
+}
+
+// refinePenalty is the per-round threshold escalation of the iterative
+// merge refinement.
+const refinePenalty = 2.0
+
+// refineOnce rescoers same-name pairs of net and applies one more merge
+// round at the given threshold, returning the contracted network.
+func (pl *Pipeline) refineOnce(net *Network, threshold float64, rng *rand.Rand) *Network {
+	sim := newSimilarityComputer(net, corpusSource{pl.Corpus}, pl.Emb, &pl.Cfg)
+	pairs := collectCandidatePairs(net, sim, &pl.Cfg, rng)
+	scored := make([]ScoredPair, len(pairs))
+	for i, cp := range pairs {
+		scored[i] = ScoredPair{A: cp.a, B: cp.b, Score: pl.Model.LogOdds(cp.gamma)}
+	}
+	uf := newUnionFind(len(net.Verts))
+	mergeScored(uf, scored, threshold, pl.Cfg.Merge)
+	out := net.contract(uf.find)
+	recoverRelations(out)
+	return out
+}
+
+// ScoredPairs exposes the candidate pairs with their matching scores.
+func (pl *Pipeline) ScoredPairs() []ScoredPair { return pl.scored }
+
+// RemergeAt rebuilds a GCN from the retained pair scores with a different
+// decision-threshold offset (relative to the calibrated operating point),
+// without retraining — used by the Fig. 6 threshold sweeps. The
+// pipeline's own GCN is left untouched.
+func (pl *Pipeline) RemergeAt(deltaOffset float64) *Network {
+	return pl.mergeAt(pl.CalibratedDelta + deltaOffset)
+}
+
+func (pl *Pipeline) mergeAt(delta float64) *Network {
+	uf := newUnionFind(len(pl.SCN.Verts))
+	for _, fm := range pl.forcedMerges {
+		uf.union(fm[0], fm[1])
+	}
+	mergeScored(uf, pl.scored, delta, pl.Cfg.Merge)
+	gcn := pl.SCN.contract(uf.find)
+	recoverRelations(gcn)
+	return gcn
+}
+
+// labeledVertexPair is a curator label resolved onto SCN vertices.
+type labeledVertexPair struct {
+	a, b int
+	same bool
+}
+
+// resolveLabels maps curator paper-pair labels onto the SCN vertices
+// carrying the named slots. Labels whose papers/name don't resolve, or
+// whose slots already share a vertex, are dropped.
+func resolveLabels(scn *Network, cfg *Config) []labeledVertexPair {
+	var out []labeledVertexPair
+	for _, lp := range cfg.Labels {
+		va := vertexOfNamedSlot(scn, bib.PaperID(lp.A), lp.Name)
+		vb := vertexOfNamedSlot(scn, bib.PaperID(lp.B), lp.Name)
+		if va < 0 || vb < 0 || va == vb {
+			continue
+		}
+		out = append(out, labeledVertexPair{a: va, b: vb, same: lp.Same})
+	}
+	return out
+}
+
+func vertexOfNamedSlot(scn *Network, pid bib.PaperID, name string) int {
+	if int(pid) >= scn.Corpus.Len() {
+		return -1
+	}
+	idx := scn.Corpus.Paper(pid).AuthorIndex(name)
+	if idx < 0 {
+		return -1
+	}
+	return scn.ClusterOfSlot(Slot{Paper: pid, Index: idx})
+}
+
+// mergeScored folds merge decisions into uf according to the strategy.
+func mergeScored(uf *unionFind, scored []ScoredPair, delta float64, strategy MergeStrategy) {
+	switch strategy {
+	case MergeAllPairs:
+		for _, sp := range scored {
+			if sp.Score >= delta {
+				uf.union(sp.A, sp.B)
+			}
+		}
+	default: // MergeBestMatch
+		// Each vertex proposes to its best-scoring partner; proposals at
+		// or above δ merge. Chains stay short because every vertex emits
+		// at most one proposal.
+		best := map[int]ScoredPair{}
+		better := func(cur ScoredPair, have ScoredPair, ok bool) bool {
+			if !ok {
+				return true
+			}
+			if cur.Score != have.Score {
+				return cur.Score > have.Score
+			}
+			// Deterministic tie-break on partner IDs.
+			return cur.A+cur.B < have.A+have.B
+		}
+		for _, sp := range scored {
+			if sp.Score < delta {
+				continue
+			}
+			if have, ok := best[sp.A]; better(sp, have, ok) {
+				best[sp.A] = sp
+			}
+			if have, ok := best[sp.B]; better(sp, have, ok) {
+				best[sp.B] = sp
+			}
+		}
+		for _, sp := range best {
+			uf.union(sp.A, sp.B)
+		}
+	}
+}
+
+// collectCandidatePairs enumerates same-name vertex pairs (R of §V-A),
+// computes their similarity vectors, and applies the per-name cap.
+func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, rng *rand.Rand) []candidatePair {
+	names := make([]string, 0, len(scn.ByName))
+	for name, ids := range scn.ByName {
+		if len(ids) > 1 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// Profile construction dominates stage-2 cost and is independent per
+	// vertex; warm the cache with a worker pool before the sequential
+	// pair loop.
+	var involved []int
+	for _, name := range names {
+		involved = append(involved, scn.ByName[name]...)
+	}
+	sim.precomputeProfiles(involved)
+	var out []candidatePair
+	for _, name := range names {
+		ids := scn.ByName[name]
+		var namePairs [][2]int
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				namePairs = append(namePairs, [2]int{ids[i], ids[j]})
+			}
+		}
+		if cfg.MaxPairsPerName > 0 && len(namePairs) > cfg.MaxPairsPerName {
+			rng.Shuffle(len(namePairs), func(i, j int) {
+				namePairs[i], namePairs[j] = namePairs[j], namePairs[i]
+			})
+			namePairs = namePairs[:cfg.MaxPairsPerName]
+		}
+		for _, pr := range namePairs {
+			full := sim.Similarities(pr[0], pr[1])
+			out = append(out, candidatePair{a: pr[0], b: pr[1], gamma: cfg.gammaFor(full)})
+		}
+	}
+	return out
+}
+
+// fitModel trains the generative model on a SampleRate fraction of the
+// candidate pairs, balanced with synthetic matched pairs from the
+// vertex-splitting strategy (§V-F2), known-different cross-name anchors,
+// and any curator labels (semi-supervised extension). It also calibrates
+// the decision threshold: the (1−FalseMatchRate) quantile of the uniform
+// anchors' fitted scores.
+func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarityComputer, cfg *Config, rng *rand.Rand) (*emfit.Model, float64, error) {
+	specs := cfg.featureSpecs()
+	var x [][]float64
+	var init []float64
+	var clamped []bool
+	var calibIdx []int // indexes of the calibration (random-negative) anchors
+
+	// 10% pair sampling (§VI-A3). On tiny corpora the sample can come up
+	// empty; fall back to every candidate pair rather than failing.
+	for _, cp := range pairs {
+		if rng.Float64() <= cfg.SampleRate {
+			x = append(x, cp.gamma)
+			init = append(init, 0.5)
+			clamped = append(clamped, false)
+		}
+	}
+	if len(x) == 0 {
+		for _, cp := range pairs {
+			x = append(x, cp.gamma)
+			init = append(init, 0.5)
+			clamped = append(clamped, false)
+		}
+	}
+	// Vertex splitting (§V-F2): prolific vertices are split in two at
+	// random *inside a cloned network*, so the two halves — the same
+	// author by construction — exhibit realistic structural similarity
+	// (partial neighborhoods, partial venue/keyword profiles). Their
+	// similarity vectors anchor the matched component of the mixture.
+	synth := 0
+	if cfg.SplitMinPapers > 0 {
+		splitNet, matched := splitNetwork(sim.net, cfg, rng)
+		splitSim := newSimilarityComputer(splitNet, sim.src, sim.emb, cfg)
+		for _, pr := range matched {
+			full := splitSim.Similarities(pr[0], pr[1])
+			x = append(x, cfg.gammaFor(full))
+			init = append(init, 0.95)
+			clamped = append(clamped, true)
+			synth++
+		}
+		// Dual anchor: cross-name vertex pairs are known-different
+		// authors; they pin the unmatched component so EM cannot drift
+		// into an "everything matches" optimum. Half are uniform random
+		// pairs, half are *hard negatives* — cross-name pairs sharing a
+		// venue — which teach the model that venue overlap also occurs
+		// between different authors of one research community.
+		// (Implementation note in DESIGN.md; the paper only describes
+		// the matched-side split.)
+		verts := sim.net.Verts
+		for k := 0; k < 2*synth && len(verts) >= 2; {
+			a := rng.Intn(len(verts))
+			b := rng.Intn(len(verts))
+			if a == b || verts[a].Name == verts[b].Name {
+				continue
+			}
+			full := sim.Similarities(a, b)
+			x = append(x, cfg.gammaFor(full))
+			init = append(init, 0.05)
+			clamped = append(clamped, true)
+			calibIdx = append(calibIdx, len(x)-1)
+			k++
+		}
+		venues, byVenue := venueIndex(sim)
+		for k, tries := 0, 0; k < 2*synth && tries < 40*synth && len(venues) > 0; tries++ {
+			ids := byVenue[venues[rng.Intn(len(venues))]]
+			a := ids[rng.Intn(len(ids))]
+			b := ids[rng.Intn(len(ids))]
+			if a == b || verts[a].Name == verts[b].Name {
+				continue
+			}
+			full := sim.Similarities(a, b)
+			x = append(x, cfg.gammaFor(full))
+			init = append(init, 0.05)
+			clamped = append(clamped, true)
+			k++
+		}
+	}
+	// Curator labels join the fit as clamped observations.
+	for _, lp := range labeled {
+		full := sim.Similarities(lp.a, lp.b)
+		x = append(x, cfg.gammaFor(full))
+		if lp.same {
+			init = append(init, 0.98)
+		} else {
+			init = append(init, 0.02)
+		}
+		clamped = append(clamped, true)
+		synth++
+	}
+	if len(x) == 0 {
+		return nil, 0, fmt.Errorf("core: no training pairs (corpus too small for GCN stage)")
+	}
+	opts := cfg.EMOptions
+	if synth > 0 {
+		opts.InitResp = init
+		opts.Clamped = clamped
+	}
+	model, _, err := emfit.Fit(x, specs, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: EM fit: %w", err)
+	}
+	// Operating-point calibration from the *uniform* known-different
+	// anchors: they mirror the typical unmatched same-name pair. (The
+	// venue-sharing hard negatives stay in the fit to shape the
+	// unmatched component, but their scores overlap legitimate matches
+	// by construction and would push the threshold above every match.)
+	var negScores []float64
+	for _, j := range calibIdx {
+		negScores = append(negScores, model.LogOdds(x[j]))
+	}
+	calibration := 0.0
+	if len(negScores) > 0 {
+		rate := cfg.FalseMatchRate
+		if rate <= 0 || rate >= 1 {
+			rate = 0.005
+		}
+		sort.Float64s(negScores)
+		idx := int((1 - rate) * float64(len(negScores)))
+		if idx >= len(negScores) {
+			idx = len(negScores) - 1
+		}
+		// The nudge makes the threshold strictly exceed the quantile
+		// anchor: a candidate with exactly the evidence profile of a
+		// known-different pair must not merge (the merge test is ≥).
+		calibration = negScores[idx] + 1e-9
+		if calibration < 0 {
+			// Never loosen below the posterior-odds break-even point.
+			calibration = 0
+		}
+	}
+	return model, calibration, nil
+}
+
+// venueIndex maps each multi-vertex venue to the vertices publishing in
+// it, plus a sorted venue list for deterministic sampling.
+func venueIndex(sim *similarityComputer) ([]string, map[string][]int) {
+	byVenue := map[string][]int{}
+	for v := range sim.net.Verts {
+		seen := map[string]struct{}{}
+		for _, pid := range sim.net.Verts[v].Papers {
+			venue := sim.src.PaperByID(pid).Venue
+			if venue == "" {
+				continue
+			}
+			if _, dup := seen[venue]; dup {
+				continue
+			}
+			seen[venue] = struct{}{}
+			byVenue[venue] = append(byVenue[venue], v)
+		}
+	}
+	var venues []string
+	for venue, ids := range byVenue {
+		if len(ids) < 2 {
+			delete(byVenue, venue)
+			continue
+		}
+		venues = append(venues, venue)
+	}
+	sort.Strings(venues)
+	return venues, byVenue
+}
+
+// splitNetwork rebuilds scn with every vertex of ≥ SplitMinPapers papers
+// partitioned into two half-vertices; edges route each paper to the half
+// that owns it. Returns the rebuilt network and the matched half pairs.
+func splitNetwork(scn *Network, cfg *Config, rng *rand.Rand) (*Network, [][2]int) {
+	out := newNetwork(scn.Corpus)
+	// mapOf[v] returns the new vertex for paper p of old vertex v.
+	mapOf := make([]func(p bib.PaperID) int, len(scn.Verts))
+	var matched [][2]int
+	for v := range scn.Verts {
+		vert := &scn.Verts[v]
+		if len(vert.Papers) >= cfg.SplitMinPapers {
+			perm := rng.Perm(len(vert.Papers))
+			// Half the splits peel off a single paper — the geometry of
+			// the real matched candidates (an isolated one-paper fragment
+			// against the author's main vertex). The rest split in half,
+			// covering the career-phase-fragment geometry.
+			cut := 1
+			if rng.Float64() < 0.5 {
+				cut = len(perm) / 2
+			}
+			movedIdx := perm[:cut]
+			moved := make(map[bib.PaperID]bool, len(movedIdx))
+			for _, k := range movedIdx {
+				moved[vert.Papers[k]] = true
+			}
+			a := out.addVertex(vert.Name, vert.Isolated)
+			b := out.addVertex(vert.Name, vert.Isolated)
+			for _, p := range vert.Papers {
+				if moved[p] {
+					out.Verts[b].Papers = unionPapers(out.Verts[b].Papers, []bib.PaperID{p})
+				} else {
+					out.Verts[a].Papers = unionPapers(out.Verts[a].Papers, []bib.PaperID{p})
+				}
+			}
+			mapOf[v] = func(p bib.PaperID) int {
+				if moved[p] {
+					return b
+				}
+				return a
+			}
+			matched = append(matched, [2]int{a, b})
+			continue
+		}
+		id := out.addVertex(vert.Name, vert.Isolated)
+		out.Verts[id].Papers = append([]bib.PaperID(nil), vert.Papers...)
+		mapOf[v] = func(bib.PaperID) int { return id }
+	}
+	for key, papers := range scn.EdgePapers {
+		fx, fy := mapOf[key[0]], mapOf[key[1]]
+		for _, p := range papers {
+			u, w := fx(p), fy(p)
+			if u != w {
+				out.addEdge(u, w, []bib.PaperID{p})
+			}
+		}
+	}
+	return out, matched
+}
+
+// recoverRelations implements Alg. 1 line 16: after merging, every
+// co-author pair of every paper becomes an edge between the vertices its
+// slots resolved to.
+func recoverRelations(n *Network) {
+	seen := make(map[bib.PaperID]struct{})
+	for slot := range n.SlotVertex {
+		seen[slot.Paper] = struct{}{}
+	}
+	ids := make([]bib.PaperID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, pid := range ids {
+		paper := n.Corpus.Paper(pid)
+		for i := 0; i < len(paper.Authors); i++ {
+			vi, ok := n.SlotVertex[Slot{Paper: pid, Index: i}]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(paper.Authors); j++ {
+				vj, ok := n.SlotVertex[Slot{Paper: pid, Index: j}]
+				if !ok || vi == vj {
+					continue
+				}
+				n.addEdge(vi, vj, []bib.PaperID{pid})
+			}
+		}
+	}
+}
+
+// PaperByID resolves corpus papers and incrementally added papers.
+func (pl *Pipeline) PaperByID(id bib.PaperID) *bib.Paper {
+	if int(id) < pl.Corpus.Len() {
+		return pl.Corpus.Paper(id)
+	}
+	return &pl.extra[int(id)-pl.Corpus.Len()]
+}
+
+// WordFrequency implements paperSource against the base corpus; the
+// incremental stream is small relative to the corpus, so corpus-level
+// frequencies remain the reference (documented approximation).
+func (pl *Pipeline) WordFrequency(w string) int { return pl.Corpus.WordFrequency(w) }
+
+// VenueFrequency implements paperSource against the base corpus.
+func (pl *Pipeline) VenueFrequency(v string) int { return pl.Corpus.VenueFrequency(v) }

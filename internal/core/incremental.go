@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"iuad/internal/bib"
+	"iuad/internal/graph"
+	"iuad/internal/wlkernel"
+)
+
+// Assignment records the incremental decision for one author slot of a
+// newly published paper (§V-E).
+type Assignment struct {
+	Slot Slot
+	// Vertex is the GCN vertex the slot was assigned to.
+	Vertex int
+	// Created is true when no existing vertex reached the threshold and
+	// a fresh isolated vertex was created.
+	Created bool
+	// Score is the winning log-odds matching score (−Inf when no
+	// candidate existed).
+	Score float64
+}
+
+// AddPaper disambiguates a newly published paper against the GCN without
+// retraining (§V-E): each author slot is scored against every existing
+// same-name vertex with the already-fitted model; the best vertex wins if
+// its score reaches δ, otherwise the slot becomes a new isolated vertex.
+// The paper is then registered in the network (its collaborative
+// relations are added), so subsequent papers see the update.
+//
+// The paper's ID is assigned by the pipeline and returned via the
+// assignments' Slot fields.
+func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
+	if pl.GCN == nil {
+		return nil, fmt.Errorf("core: AddPaper before BuildGCN")
+	}
+	p.ID = bib.PaperID(pl.Corpus.Len() + len(pl.extra))
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl.extra = append(pl.extra, p)
+	paper := &pl.extra[len(pl.extra)-1]
+
+	out := make([]Assignment, 0, len(paper.Authors))
+	for idx, name := range paper.Authors {
+		slot := Slot{Paper: paper.ID, Index: idx}
+		vertex, score, created := pl.assignSlot(paper, idx, name)
+		pl.GCN.SlotVertex[slot] = vertex
+		out = append(out, Assignment{Slot: slot, Vertex: vertex, Created: created, Score: score})
+	}
+	// Register the paper: fold it into each assigned vertex and recover
+	// the collaborative relations among the slots.
+	for _, a := range out {
+		v := &pl.GCN.Verts[a.Vertex]
+		v.Papers = unionPapers(v.Papers, []bib.PaperID{paper.ID})
+		pl.sim.invalidate(a.Vertex)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[i].Vertex != out[j].Vertex {
+				pl.GCN.addEdge(out[i].Vertex, out[j].Vertex, []bib.PaperID{paper.ID})
+			}
+		}
+	}
+	return out, nil
+}
+
+// assignSlot scores one author slot against the existing same-name
+// vertices.
+func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, name string) (vertex int, score float64, created bool) {
+	candidates := pl.GCN.ByName[name]
+	bestScore := math.Inf(-1)
+	best := -1
+	if len(candidates) > 0 {
+		temp := pl.tempProfile(paper, idx)
+		for _, v := range candidates {
+			full := pl.sim.similaritiesOfProfiles(temp, pl.sim.profileOf(v))
+			s := pl.Model.LogOdds(pl.Cfg.gammaFor(full))
+			if s > bestScore {
+				bestScore, best = s, v
+			}
+		}
+	}
+	// va is identical to va_k iff sc_k is both the maximum and ≥ δ
+	// (§V-E conditions (1) and (2)).
+	if best >= 0 && bestScore >= pl.CalibratedDelta+pl.Cfg.Delta {
+		return best, bestScore, false
+	}
+	iso := pl.GCN.addVertex(name, true)
+	return iso, bestScore, true
+}
+
+// tempProfile builds the single-paper profile of the incoming slot. Its
+// structural view is the star of the paper's co-author names (the
+// radius-1 collaboration neighborhood the new paper establishes).
+func (pl *Pipeline) tempProfile(paper *bib.Paper, idx int) *profile {
+	p := pl.sim.buildProfile([]bib.PaperID{paper.ID})
+	p.wl = starFeatures(paper, idx, pl.Cfg.WLIterations)
+	p.degree = len(paper.Authors) - 1
+	p.triangles = map[[2]string]struct{}{}
+	names := make([]string, 0, len(paper.Authors)-1)
+	for i, n := range paper.Authors {
+		if i != idx {
+			names = append(names, n)
+		}
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			if a > b {
+				a, b = b, a
+			}
+			p.triangles[[2]string{a, b}] = struct{}{}
+		}
+	}
+	return p
+}
+
+// starFeatures computes WL features of the star graph centered on slot
+// idx with the co-author names as leaves — the radius-1 collaboration
+// neighborhood a single new paper establishes.
+func starFeatures(paper *bib.Paper, idx, h int) map[uint64]int {
+	n := len(paper.Authors)
+	g := graph.New(n)
+	labels := make([]uint64, n)
+	labels[0] = wlkernel.CenterLabel
+	k := 1
+	for i, name := range paper.Authors {
+		if i == idx {
+			continue
+		}
+		labels[k] = wlkernel.HashLabel(name)
+		g.AddEdge(0, k)
+		k++
+	}
+	return wlkernel.Features(g, labels, h)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+
+	"iuad/internal/bib"
+	"iuad/internal/fpgrowth"
+)
+
+// BuildSCN runs stage 1 (§IV): mine η-SCRs from the co-author lists and
+// construct the stable collaboration network.
+//
+// Insertion follows the running example of Fig. 4: a stable pair (a,b)
+// reuses an existing vertex named a only when a stable triangle supports
+// it — some current neighbor u of that vertex has (name(u), b) ∈ F.
+// Otherwise a carries no evidence of being the same person, and a fresh
+// vertex is created ("initially all same-name authors are different").
+//
+// After all stable pairs are inserted, every author slot is assigned: to
+// the stable vertex whose paper set covers it, or to a new isolated
+// single-paper vertex. Slots covered by several stable vertices of the
+// same name prove those vertices are one person (a slot is one physical
+// author), so such vertices are merged.
+func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	txs := make([][]string, corpus.Len())
+	for i := 0; i < corpus.Len(); i++ {
+		txs[i] = corpus.Paper(bib.PaperID(i)).Authors
+	}
+	scrs := fpgrowth.FrequentPairs(txs, cfg.Eta)
+
+	// Papers per stable pair, collected in one corpus scan.
+	pairPapers := make(map[fpgrowth.Pair][]bib.PaperID, len(scrs))
+	for i := 0; i < corpus.Len(); i++ {
+		p := corpus.Paper(bib.PaperID(i))
+		for x := 0; x < len(p.Authors); x++ {
+			for y := x + 1; y < len(p.Authors); y++ {
+				key := fpgrowth.MakePair(p.Authors[x], p.Authors[y])
+				if _, stable := scrs[key]; stable {
+					pairPapers[key] = append(pairPapers[key], p.ID)
+				}
+			}
+		}
+	}
+
+	// Deterministic insertion order: support descending, then name order.
+	// Processing high-support relations first anchors the network on the
+	// strongest evidence before weaker relations choose attachments.
+	ordered := make([]fpgrowth.Pair, 0, len(scrs))
+	for pr := range scrs {
+		ordered = append(ordered, pr)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		si, sj := scrs[ordered[i]], scrs[ordered[j]]
+		if si != sj {
+			return si > sj
+		}
+		if ordered[i].A != ordered[j].A {
+			return ordered[i].A < ordered[j].A
+		}
+		return ordered[i].B < ordered[j].B
+	})
+
+	n := newNetwork(corpus)
+	attach := func(name, other string) int {
+		for _, id := range n.ByName[name] {
+			support := false
+			n.G.VisitNeighbors(id, func(u int) {
+				if support {
+					return
+				}
+				if _, ok := scrs[fpgrowth.MakePair(n.Verts[u].Name, other)]; ok {
+					support = true
+				}
+			})
+			if support {
+				return id
+			}
+		}
+		return n.addVertex(name, false)
+	}
+	for _, pr := range ordered {
+		va := attach(pr.A, pr.B)
+		vb := attach(pr.B, pr.A)
+		n.addEdge(va, vb, pairPapers[pr])
+	}
+
+	// Slot assignment + slot-conflict merging.
+	uf := newUnionFind(len(n.Verts))
+	for i := 0; i < corpus.Len(); i++ {
+		p := corpus.Paper(bib.PaperID(i))
+		for idx, name := range p.Authors {
+			slot := Slot{Paper: p.ID, Index: idx}
+			var owners []int
+			for _, id := range n.ByName[name] {
+				if containsPaper(n.Verts[id].Papers, p.ID) {
+					owners = append(owners, id)
+				}
+			}
+			if len(owners) == 0 {
+				iso := n.addVertex(name, true)
+				n.Verts[iso].Papers = []bib.PaperID{p.ID}
+				n.SlotVertex[slot] = iso
+				continue
+			}
+			n.SlotVertex[slot] = owners[0]
+			for _, o := range owners[1:] {
+				uf.union(owners[0], o)
+			}
+		}
+	}
+	uf.grow(len(n.Verts)) // isolated vertices added after construction
+	return n.contract(uf.find), nil
+}
+
+func containsPaper(papers []bib.PaperID, p bib.PaperID) bool {
+	i := sort.Search(len(papers), func(k int) bool { return papers[k] >= p })
+	return i < len(papers) && papers[i] == p
+}
+
+// contract rebuilds the network with vertex groups collapsed according to
+// find. Groups are guaranteed by callers to be name-homogeneous.
+func (n *Network) contract(find func(int) int) *Network {
+	out := newNetwork(n.Corpus)
+	remap := make([]int, len(n.Verts))
+	for i := range remap {
+		remap[i] = -1
+	}
+	// Deterministic new IDs: ascending over old IDs.
+	for old := range n.Verts {
+		root := find(old)
+		if remap[root] == -1 {
+			remap[root] = out.addVertex(n.Verts[root].Name, true)
+		}
+		remap[old] = remap[root]
+	}
+	for old := range n.Verts {
+		v := &n.Verts[old]
+		nv := &out.Verts[remap[old]]
+		nv.Papers = unionPapers(nv.Papers, v.Papers)
+		if !v.Isolated {
+			nv.Isolated = false
+		}
+	}
+	for key, papers := range n.EdgePapers {
+		u, v := remap[key[0]], remap[key[1]]
+		if u == v {
+			continue // edge collapsed inside a merged vertex
+		}
+		out.addEdge(u, v, papers)
+	}
+	for slot, old := range n.SlotVertex {
+		out.SlotVertex[slot] = remap[old]
+	}
+	return out
+}
+
+// unionFind is a disjoint-set forest over vertex IDs.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// grow extends the forest to cover n elements.
+func (u *unionFind) grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, len(u.parent))
+	}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges by smaller root so contraction IDs stay deterministic.
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}

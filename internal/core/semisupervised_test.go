@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"iuad/internal/bib"
+)
+
+// labelsFromTruth builds curator labels for the top ambiguous names of a
+// labeled dataset: for each name, one same-author pair and one
+// different-author pair (when available).
+func labelsFromTruth(corpus *bib.Corpus, names []string, perName int) []LabeledPair {
+	var out []LabeledPair
+	for _, name := range names {
+		papers := corpus.PapersWithName(name)
+		added := 0
+		for i := 0; i < len(papers) && added < perName; i++ {
+			for j := i + 1; j < len(papers) && added < perName; j++ {
+				pi, pj := corpus.Paper(papers[i]), corpus.Paper(papers[j])
+				ti := pi.TruthAt(pi.AuthorIndex(name))
+				tj := pj.TruthAt(pj.AuthorIndex(name))
+				out = append(out, LabeledPair{
+					Name: name, A: int(papers[i]), B: int(papers[j]), Same: ti == tj,
+				})
+				added++
+			}
+		}
+	}
+	return out
+}
+
+// TestSemiSupervisedLabelsForceMerges verifies the future-work extension:
+// same-author labels merge the carrying vertices unconditionally, and a
+// labeled run is at least as good as the unsupervised run on recall
+// without a precision collapse.
+func TestSemiSupervisedLabelsForceMerges(t *testing.T) {
+	d := testDataset(23)
+	names := d.AmbiguousNames(2)
+	cfg := fastCoreConfig()
+	base, err := Run(d.Corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseM := metricsOf(d.Corpus, base.GCN, names)
+
+	cfg.Labels = labelsFromTruth(d.Corpus, names, 3)
+	if len(cfg.Labels) == 0 {
+		t.Fatal("no labels constructed")
+	}
+	labeledRun, err := Run(d.Corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labM := metricsOf(d.Corpus, labeledRun.GCN, names)
+	t.Logf("unsupervised: %v", baseM)
+	t.Logf("semi-supervised (%d labels): %v", len(cfg.Labels), labM)
+
+	// Same-author labels must actually be honored in the GCN.
+	for _, lp := range cfg.Labels {
+		if !lp.Same {
+			continue
+		}
+		pa := labeledRun.Corpus.Paper(bib.PaperID(lp.A))
+		pb := labeledRun.Corpus.Paper(bib.PaperID(lp.B))
+		va := labeledRun.GCN.ClusterOfSlot(Slot{Paper: bib.PaperID(lp.A), Index: pa.AuthorIndex(lp.Name)})
+		vb := labeledRun.GCN.ClusterOfSlot(Slot{Paper: bib.PaperID(lp.B), Index: pb.AuthorIndex(lp.Name)})
+		if va != vb {
+			t.Fatalf("same-author label %v not honored: vertices %d vs %d", lp, va, vb)
+		}
+	}
+	// Labels must help, not hurt: recall at least as high, F not lower
+	// by more than noise.
+	if labM.MicroR < baseM.MicroR-1e-9 {
+		t.Fatalf("labels reduced recall: %.4f -> %.4f", baseM.MicroR, labM.MicroR)
+	}
+	if labM.MicroF < baseM.MicroF-0.02 {
+		t.Fatalf("labels hurt F1: %.4f -> %.4f", baseM.MicroF, labM.MicroF)
+	}
+}
+
+func TestLabelsResolveEdgeCases(t *testing.T) {
+	d := testDataset(23)
+	cfg := fastCoreConfig()
+	cfg.Labels = []LabeledPair{
+		{Name: "No Such Name", A: 0, B: 1, Same: true},       // name not on papers
+		{Name: "Also Missing", A: 999999, B: 0, Same: false}, // paper out of range
+	}
+	// Bad labels are dropped silently; the pipeline still runs.
+	if _, err := Run(d.Corpus, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

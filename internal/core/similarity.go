@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"iuad/internal/bib"
+	"iuad/internal/textvec"
+	"iuad/internal/wlkernel"
+)
+
+// paperSource resolves papers and corpus-level frequencies. The batch
+// pipeline uses the frozen corpus directly; the incremental pipeline
+// additionally resolves newly streamed papers.
+type paperSource interface {
+	PaperByID(bib.PaperID) *bib.Paper
+	WordFrequency(string) int
+	VenueFrequency(string) int
+}
+
+// corpusSource adapts *bib.Corpus to paperSource.
+type corpusSource struct{ c *bib.Corpus }
+
+func (s corpusSource) PaperByID(id bib.PaperID) *bib.Paper { return s.c.Paper(id) }
+func (s corpusSource) WordFrequency(w string) int          { return s.c.WordFrequency(w) }
+func (s corpusSource) VenueFrequency(v string) int         { return s.c.VenueFrequency(v) }
+
+// profile caches the per-vertex aggregates the six similarity functions
+// consume (§V-B).
+type profile struct {
+	paperCount int
+	// venues is the multiset H(v); topVenue its most frequent element
+	// (ties broken lexicographically for determinism).
+	venues   map[string]int
+	topVenue string
+	// wordYears maps each title keyword to the sorted years it was used.
+	wordYears map[string][]int
+	// centroid is W(v), the mean keyword vector (nil if no keyword is in
+	// vocabulary).
+	centroid []float64
+	// wl is the WL subgraph feature map φ of the vertex's ego network;
+	// degree is the vertex's collaboration degree. A neighborless vertex
+	// has no structural identity beyond its own (shared) name, so γ¹
+	// treats it as "no evidence" rather than "identical subgraph".
+	wl     map[uint64]int
+	degree int
+	// triangles is the set of co-author name pairs forming stable
+	// triangles with this vertex (the clique list L(v) of Eq. 5,
+	// restricted to triangles as in the paper).
+	triangles map[[2]string]struct{}
+}
+
+// similarityComputer evaluates γ¹..γ⁶ over a network, caching profiles.
+type similarityComputer struct {
+	net   *Network
+	src   paperSource
+	emb   *textvec.Embeddings
+	cfg   *Config
+	cache map[int]*profile
+}
+
+func newSimilarityComputer(net *Network, src paperSource, emb *textvec.Embeddings, cfg *Config) *similarityComputer {
+	return &similarityComputer{
+		net:   net,
+		src:   src,
+		emb:   emb,
+		cfg:   cfg,
+		cache: make(map[int]*profile),
+	}
+}
+
+// invalidate drops the cached profile of vertex v (incremental updates).
+func (sc *similarityComputer) invalidate(v int) { delete(sc.cache, v) }
+
+func (sc *similarityComputer) profileOf(v int) *profile {
+	if p, ok := sc.cache[v]; ok {
+		return p
+	}
+	p := sc.buildVertexProfile(v)
+	sc.cache[v] = p
+	return p
+}
+
+// buildVertexProfile computes a vertex profile without touching the
+// cache; it only reads the (immutable during stage 2) network, corpus
+// and embeddings, so it is safe to call from concurrent workers.
+func (sc *similarityComputer) buildVertexProfile(v int) *profile {
+	p := sc.buildProfile(sc.net.Verts[v].Papers)
+	p.wl = wlkernel.SubgraphFeatures(sc.net.G, v, sc.cfg.WLIterations,
+		func(u int) uint64 { return wlkernel.HashLabel(sc.net.Verts[u].Name) })
+	p.degree = sc.net.G.Degree(v)
+	p.triangles = sc.triangleNamePairs(v)
+	return p
+}
+
+// precomputeProfiles fills the cache for ids with a worker pool. Profile
+// construction is read-only; workers write into a positional result
+// slice, so the cache map is only touched by the caller's goroutine.
+func (sc *similarityComputer) precomputeProfiles(ids []int) {
+	var todo []int
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if _, ok := sc.cache[id]; !ok {
+			todo = append(todo, id)
+		}
+	}
+	const minParallel = 64
+	if len(todo) < minParallel {
+		return // the lazy path is cheaper than the fan-out
+	}
+	results := make([]*profile, len(todo))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				results[k] = sc.buildVertexProfile(todo[k])
+			}
+		}()
+	}
+	for k := range todo {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	for k, id := range todo {
+		sc.cache[id] = results[k]
+	}
+}
+
+// buildProfile aggregates papers into venue/keyword/centroid state. It is
+// shared by vertex profiles and the temporary profiles of incremental
+// papers.
+func (sc *similarityComputer) buildProfile(papers []bib.PaperID) *profile {
+	p := &profile{
+		paperCount: len(papers),
+		venues:     make(map[string]int),
+		wordYears:  make(map[string][]int),
+	}
+	var keywords []string
+	for _, id := range papers {
+		paper := sc.src.PaperByID(id)
+		if paper.Venue != "" {
+			p.venues[paper.Venue]++
+		}
+		for _, w := range bib.Keywords(paper.Title) {
+			p.wordYears[w] = append(p.wordYears[w], paper.Year)
+			keywords = append(keywords, w)
+		}
+	}
+	for _, years := range p.wordYears {
+		sort.Ints(years)
+	}
+	best, bestCount := "", -1
+	for v, c := range p.venues {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	p.topVenue = best
+	if sc.emb != nil {
+		// Mean-centered centroids: raw SGNS centroids share a large
+		// common direction and saturate cosine near 1 for all pairs.
+		p.centroid = sc.emb.CenteredCentroid(keywords)
+	}
+	return p
+}
+
+// triangleNamePairs lists the name pairs {name(u), name(w)} of all stable
+// triangles (v,u,w) in the network.
+func (sc *similarityComputer) triangleNamePairs(v int) map[[2]string]struct{} {
+	out := make(map[[2]string]struct{})
+	for _, tri := range sc.net.G.TrianglesOf(v) {
+		others := make([]string, 0, 2)
+		for _, x := range []int{tri.A, tri.B, tri.C} {
+			if x != v {
+				others = append(others, sc.net.Verts[x].Name)
+			}
+		}
+		if len(others) != 2 {
+			continue
+		}
+		if others[0] > others[1] {
+			others[0], others[1] = others[1], others[0]
+		}
+		out[[2]string{others[0], others[1]}] = struct{}{}
+	}
+	return out
+}
+
+// tau is the productivity balance term of Eqs. 5, 7, 8, 9: the smaller
+// paper count of the two vertices.
+func tau(a, b *profile) float64 {
+	t := a.paperCount
+	if b.paperCount < t {
+		t = b.paperCount
+	}
+	if t < 1 {
+		t = 1
+	}
+	return float64(t)
+}
+
+// Similarities computes the full γ vector between two vertices. Disabled
+// features (cfg.FeatureMask) are left at 0 and excluded by gammaFor.
+func (sc *similarityComputer) Similarities(vi, vj int) [NumSimilarities]float64 {
+	pi, pj := sc.profileOf(vi), sc.profileOf(vj)
+	return sc.similaritiesOfProfiles(pi, pj)
+}
+
+func (sc *similarityComputer) similaritiesOfProfiles(pi, pj *profile) [NumSimilarities]float64 {
+	var g [NumSimilarities]float64
+	enabled := func(i int) bool { return sc.cfg.FeatureMask == nil || sc.cfg.FeatureMask[i] }
+
+	if enabled(SimWLKernel) && pi.degree > 0 && pj.degree > 0 {
+		g[SimWLKernel] = wlkernel.Normalized(pi.wl, pj.wl)
+	}
+	if enabled(SimCliques) {
+		g[SimCliques] = cliqueCoincidence(pi, pj)
+	}
+	if enabled(SimInterests) {
+		g[SimInterests] = textvec.Cosine(pi.centroid, pj.centroid)
+	}
+	if enabled(SimTimeConsist) {
+		g[SimTimeConsist] = sc.timeConsistency(pi, pj)
+	}
+	if enabled(SimRepCommunity) {
+		g[SimRepCommunity] = representativeCommunity(pi, pj)
+	}
+	if enabled(SimCommunity) {
+		g[SimCommunity] = sc.communitySimilarity(pi, pj)
+	}
+	return g
+}
+
+// cliqueCoincidence is γ² (Eq. 5): shared co-author cliques over τ.
+func cliqueCoincidence(pi, pj *profile) float64 {
+	small, large := pi.triangles, pj.triangles
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	shared := 0
+	for t := range small {
+		if _, ok := large[t]; ok {
+			shared++
+		}
+	}
+	return float64(shared) / tau(pi, pj)
+}
+
+// timeConsistency is γ⁴ (Eq. 7): Σ_b exp(−α·minYearDiff(b)) / log F_B(b),
+// over shared keywords, scaled by 1/τ. The paper writes e^{α·min(b)} with
+// α described as a *decay* factor (0.62, citing FutureRank); a positive
+// exponent would grow with the year gap, so the decay sign is restored
+// here.
+func (sc *similarityComputer) timeConsistency(pi, pj *profile) float64 {
+	small, large := pi.wordYears, pj.wordYears
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	sum := 0.0
+	for w, yearsA := range small {
+		yearsB, ok := large[w]
+		if !ok {
+			continue
+		}
+		freq := sc.src.WordFrequency(w)
+		if freq < 2 {
+			freq = 2 // guard log(1)=0; co-occurrence implies freq ≥ 2
+		}
+		diff := minYearDiff(yearsA, yearsB)
+		sum += math.Exp(-sc.cfg.Alpha*float64(diff)) / math.Log(float64(freq))
+	}
+	return sum / tau(pi, pj)
+}
+
+// minYearDiff returns min |a−b| over the two sorted year lists in O(n+m).
+func minYearDiff(a, b []int) int {
+	i, j := 0, 0
+	best := math.MaxInt32
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
+		}
+		if d < best {
+			best = d
+		}
+		if best == 0 {
+			return 0
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return best
+}
+
+// representativeCommunity is γ⁵ (Eq. 8): how often each vertex publishes
+// in the other's most frequent venue, over τ.
+func representativeCommunity(pi, pj *profile) float64 {
+	s := float64(pj.venues[pi.topVenue] + pi.venues[pj.topVenue])
+	return s / tau(pi, pj)
+}
+
+// communitySimilarity is γ⁶ (Eq. 9): Adamic/Adar over shared venues.
+func (sc *similarityComputer) communitySimilarity(pi, pj *profile) float64 {
+	small, large := pi.venues, pj.venues
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	sum := 0.0
+	for h := range small {
+		if _, ok := large[h]; !ok {
+			continue
+		}
+		freq := sc.src.VenueFrequency(h)
+		if freq < 2 {
+			freq = 2
+		}
+		sum += 1 / math.Log(float64(freq))
+	}
+	return sum / tau(pi, pj)
+}
+
+// gammaFor projects the full similarity vector onto the enabled features,
+// in feature-index order — the layout the emfit model is trained on.
+func (c *Config) gammaFor(full [NumSimilarities]float64) []float64 {
+	idx := c.enabledFeatures()
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = full[i]
+	}
+	return out
+}

@@ -1,0 +1,445 @@
+// Package emfit implements the probabilistic generative model of §V-C: a
+// two-component mixture over similarity vectors γ ∈ R^m, where component
+// M ("matched" — the two vertices are one author) and component U
+// ("unmatched") each model the features independently with
+// exponential-family distributions (Gaussian, Exponential, or
+// Multinomial over bins), exactly the families whose maximum-likelihood
+// estimators appear in the paper's Table I.
+//
+// Parameters are learned with EM: the E-step computes the posterior
+// responsibility l_j = P(r_j ∈ M | γ_j, Θ), the M-step plugs the
+// responsibilities into the closed-form weighted MLEs of Table I. The
+// fitted model scores candidate pairs with the log posterior-odds
+// matching score of Eq. 11.
+package emfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Family selects the exponential-family distribution of one feature.
+type Family int
+
+const (
+	// Gaussian models unbounded symmetric features (e.g. cosine values).
+	Gaussian Family = iota
+	// Exponential models non-negative continuous features.
+	Exponential
+	// Multinomial models features discretized into bins.
+	Multinomial
+	// ZeroInflatedExponential models sparse non-negative features: a
+	// point mass π at zero mixed with an Exponential on the positives.
+	// This is the right family for similarity functions that are exactly
+	// zero for most unrelated pairs (shared cliques, shared venues) —
+	// a plain Exponential degenerates to λ→∞ on such data, drowning all
+	// other evidence.
+	ZeroInflatedExponential
+)
+
+func (f Family) String() string {
+	switch f {
+	case Gaussian:
+		return "gaussian"
+	case Exponential:
+		return "exponential"
+	case Multinomial:
+		return "multinomial"
+	case ZeroInflatedExponential:
+		return "zero-inflated-exponential"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// FeatureSpec describes how one similarity function is modeled.
+type FeatureSpec struct {
+	Name   string
+	Family Family
+	// Bins holds the upper edges of the multinomial bins (ascending);
+	// values above the last edge land in an implicit overflow bin.
+	// Ignored for other families.
+	Bins []float64
+}
+
+// component is a fitted per-feature distribution of one mixture side.
+type component struct {
+	family Family
+	mu     float64   // Gaussian mean
+	sigma2 float64   // Gaussian variance
+	lambda float64   // Exponential rate
+	logPi0 float64   // zero-inflation: log P(x = 0)
+	logPi1 float64   // zero-inflation: log P(x > 0)
+	logp   []float64 // Multinomial log bin probabilities
+	bins   []float64
+}
+
+const (
+	// varianceFloor bounds fitted Gaussian variances. Similarity features
+	// live on O(1) scales; a tighter floor lets a nearly-constant feature
+	// (e.g. saturated cosines) produce explosive log-density swings that
+	// drown every other feature.
+	varianceFloor = 1e-4
+	lambdaMin     = 1e-6
+	lambdaMax     = 1e4
+	mixFloor      = 1e-4
+	// zeroEps is the threshold below which a ZeroInflatedExponential
+	// observation counts as the zero atom.
+	zeroEps = 1e-12
+)
+
+func (c *component) logPDF(x float64) float64 {
+	switch c.family {
+	case Gaussian:
+		d := x - c.mu
+		return -0.5*math.Log(2*math.Pi*c.sigma2) - d*d/(2*c.sigma2)
+	case Exponential:
+		if x < 0 {
+			x = 0
+		}
+		return math.Log(c.lambda) - c.lambda*x
+	case Multinomial:
+		return c.logp[binOf(c.bins, x)]
+	case ZeroInflatedExponential:
+		if x < zeroEps {
+			return c.logPi0
+		}
+		return c.logPi1 + math.Log(c.lambda) - c.lambda*x
+	}
+	panic("emfit: unknown family")
+}
+
+func binOf(edges []float64, x float64) int {
+	// First bin whose upper edge is ≥ x; overflow bin otherwise.
+	i := sort.SearchFloat64s(edges, x)
+	return i
+}
+
+// fit computes the weighted MLE of Table I for one feature/side.
+func fitComponent(spec FeatureSpec, xs []float64, w []float64) component {
+	c := component{family: spec.Family, bins: spec.Bins}
+	var sw float64
+	for _, wj := range w {
+		sw += wj
+	}
+	switch spec.Family {
+	case Gaussian:
+		if sw <= 0 {
+			c.mu, c.sigma2 = 0, 1
+			return c
+		}
+		var mean float64
+		for j, x := range xs {
+			mean += w[j] * x
+		}
+		mean /= sw
+		var ss float64
+		for j, x := range xs {
+			d := x - mean
+			ss += w[j] * d * d
+		}
+		c.mu = mean
+		c.sigma2 = ss / sw
+		if c.sigma2 < varianceFloor {
+			c.sigma2 = varianceFloor
+		}
+	case Exponential:
+		// λ = Σw / Σ(w·x), clamped for numerical safety.
+		var sx float64
+		for j, x := range xs {
+			if x < 0 {
+				x = 0
+			}
+			sx += w[j] * x
+		}
+		if sw <= 0 || sx <= 0 {
+			c.lambda = lambdaMax
+			return c
+		}
+		c.lambda = sw / sx
+		if c.lambda < lambdaMin {
+			c.lambda = lambdaMin
+		}
+		if c.lambda > lambdaMax {
+			c.lambda = lambdaMax
+		}
+	case Multinomial:
+		nb := len(spec.Bins) + 1
+		counts := make([]float64, nb)
+		for j, x := range xs {
+			counts[binOf(spec.Bins, x)] += w[j]
+		}
+		c.logp = make([]float64, nb)
+		// Laplace smoothing keeps unseen bins finite.
+		denom := sw + float64(nb)
+		for b := 0; b < nb; b++ {
+			c.logp[b] = math.Log((counts[b] + 1) / denom)
+		}
+	case ZeroInflatedExponential:
+		var swZero, swPos, sxPos float64
+		for j, x := range xs {
+			if x < zeroEps {
+				swZero += w[j]
+			} else {
+				swPos += w[j]
+				sxPos += w[j] * x
+			}
+		}
+		// Laplace-smoothed zero probability keeps both atoms finite.
+		pi0 := (swZero + 1) / (sw + 2)
+		c.logPi0 = math.Log(pi0)
+		c.logPi1 = math.Log(1 - pi0)
+		if swPos <= 0 || sxPos <= 0 {
+			c.lambda = lambdaMax
+		} else {
+			c.lambda = clamp(swPos/sxPos, lambdaMin, lambdaMax)
+		}
+	default:
+		panic("emfit: unknown family " + spec.Family.String())
+	}
+	return c
+}
+
+// Model is a fitted two-component mixture.
+type Model struct {
+	Specs []FeatureSpec
+	// P is the mixing weight P(r ∈ M).
+	P float64
+	// LogLikelihood is the final training log-likelihood.
+	LogLikelihood float64
+	// Iterations is how many EM rounds ran.
+	Iterations int
+
+	matched   []component
+	unmatched []component
+}
+
+// Options tunes Fit.
+type Options struct {
+	MaxIter int
+	// Tol is the relative log-likelihood improvement below which EM
+	// stops.
+	Tol float64
+	// InitResp optionally seeds the initial responsibilities (length N,
+	// values in [0,1]). When nil, Fit seeds from the feature-sum
+	// quantile heuristic (top quartile of standardized feature sums is
+	// presumed matched).
+	InitResp []float64
+	// Clamped marks samples whose responsibility is an observed label
+	// rather than a latent variable: their InitResp value is held fixed
+	// through every E-step (semi-supervised EM). Length N when non-nil;
+	// requires InitResp.
+	Clamped []bool
+}
+
+// DefaultOptions returns the options used by IUAD.
+func DefaultOptions() Options { return Options{MaxIter: 100, Tol: 1e-6} }
+
+// ErrNoData is returned when Fit receives no samples.
+var ErrNoData = errors.New("emfit: no samples")
+
+// Fit learns the mixture from the N×m sample matrix X. It returns the
+// model and the final responsibilities.
+func Fit(x [][]float64, specs []FeatureSpec, opts Options) (*Model, []float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil, ErrNoData
+	}
+	m := len(specs)
+	for j, row := range x {
+		if len(row) != m {
+			return nil, nil, fmt.Errorf("emfit: sample %d has %d features, want %d", j, len(row), m)
+		}
+		for i, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("emfit: sample %d feature %d is %v", j, i, v)
+			}
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+
+	resp := make([]float64, n)
+	if opts.InitResp != nil {
+		if len(opts.InitResp) != n {
+			return nil, nil, fmt.Errorf("emfit: InitResp length %d, want %d", len(opts.InitResp), n)
+		}
+		copy(resp, opts.InitResp)
+	} else {
+		seedResponsibilities(x, resp)
+	}
+	if opts.Clamped != nil {
+		if len(opts.Clamped) != n {
+			return nil, nil, fmt.Errorf("emfit: Clamped length %d, want %d", len(opts.Clamped), n)
+		}
+		if opts.InitResp == nil {
+			return nil, nil, fmt.Errorf("emfit: Clamped requires InitResp")
+		}
+	}
+
+	// Column views to avoid re-slicing in every M-step.
+	cols := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		cols[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			cols[i][j] = x[j][i]
+		}
+	}
+	wU := make([]float64, n)
+
+	model := &Model{Specs: specs}
+	prevLL := math.Inf(-1)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// M-step.
+		var sumResp float64
+		for j := range resp {
+			wU[j] = 1 - resp[j]
+			sumResp += resp[j]
+		}
+		model.P = clamp(sumResp/float64(n), mixFloor, 1-mixFloor)
+		model.matched = model.matched[:0]
+		model.unmatched = model.unmatched[:0]
+		for i := 0; i < m; i++ {
+			model.matched = append(model.matched, fitComponent(specs[i], cols[i], resp))
+			model.unmatched = append(model.unmatched, fitComponent(specs[i], cols[i], wU))
+		}
+
+		// E-step + log-likelihood.
+		ll := 0.0
+		logP := math.Log(model.P)
+		logQ := math.Log(1 - model.P)
+		for j := 0; j < n; j++ {
+			lm, lu := logP, logQ
+			for i := 0; i < m; i++ {
+				lm += model.matched[i].logPDF(x[j][i])
+				lu += model.unmatched[i].logPDF(x[j][i])
+			}
+			mx := math.Max(lm, lu)
+			den := mx + math.Log(math.Exp(lm-mx)+math.Exp(lu-mx))
+			if opts.Clamped != nil && opts.Clamped[j] {
+				resp[j] = opts.InitResp[j] // observed label, not latent
+			} else {
+				resp[j] = math.Exp(lm - den)
+			}
+			ll += den
+		}
+		model.LogLikelihood = ll
+		model.Iterations = iter
+		if ll-prevLL < opts.Tol*math.Abs(ll) && iter > 1 {
+			break
+		}
+		prevLL = ll
+	}
+	return model, resp, nil
+}
+
+// seedResponsibilities initializes EM from the standardized feature-sum
+// quantile heuristic.
+func seedResponsibilities(x [][]float64, resp []float64) {
+	n, m := len(x), len(x[0])
+	mean := make([]float64, m)
+	std := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			mean[i] += x[j][i]
+		}
+		mean[i] /= float64(n)
+		for j := 0; j < n; j++ {
+			d := x[j][i] - mean[i]
+			std[i] += d * d
+		}
+		std[i] = math.Sqrt(std[i] / float64(n))
+		if std[i] == 0 {
+			std[i] = 1
+		}
+	}
+	sums := make([]float64, n)
+	order := make([]int, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += (x[j][i] - mean[i]) / std[i]
+		}
+		sums[j] = s
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+	cut := n / 4
+	if cut == 0 {
+		cut = 1
+	}
+	for rank, j := range order {
+		if rank < cut {
+			resp[j] = 0.9
+		} else {
+			resp[j] = 0.1
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// LogOdds returns the matching score of Eq. 11:
+// log( P(r∈M|γ,Θ) / P(r∈U|γ,Θ) ).
+func (m *Model) LogOdds(gamma []float64) float64 {
+	if len(gamma) != len(m.Specs) {
+		panic(fmt.Sprintf("emfit: score with %d features, model has %d", len(gamma), len(m.Specs)))
+	}
+	s := math.Log(m.P) - math.Log(1-m.P)
+	for i := range gamma {
+		s += m.matched[i].logPDF(gamma[i]) - m.unmatched[i].logPDF(gamma[i])
+	}
+	return s
+}
+
+// Posterior returns P(r ∈ M | γ, Θ).
+func (m *Model) Posterior(gamma []float64) float64 {
+	odds := m.LogOdds(gamma)
+	if odds > 500 {
+		return 1
+	}
+	if odds < -500 {
+		return 0
+	}
+	e := math.Exp(odds)
+	return e / (1 + e)
+}
+
+// MatchedMean returns the fitted location parameter of feature i on the
+// matched side: the Gaussian mean, 1/λ for Exponential, or the expected
+// bin index for Multinomial. Useful for diagnostics and tests.
+func (m *Model) MatchedMean(i int) float64 { return m.matched[i].mean() }
+
+// UnmatchedMean is MatchedMean for the unmatched side.
+func (m *Model) UnmatchedMean(i int) float64 { return m.unmatched[i].mean() }
+
+func (c *component) mean() float64 {
+	switch c.family {
+	case Gaussian:
+		return c.mu
+	case Exponential:
+		return 1 / c.lambda
+	case Multinomial:
+		e := 0.0
+		for b, lp := range c.logp {
+			e += float64(b) * math.Exp(lp)
+		}
+		return e
+	case ZeroInflatedExponential:
+		return math.Exp(c.logPi1) / c.lambda
+	}
+	panic("emfit: unknown family")
+}

@@ -1,0 +1,222 @@
+package emfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthMixture draws n samples: matched samples (fraction p) have high
+// Gaussian feature 0 and high Exponential feature 1; unmatched the
+// opposite. Returns samples and truth labels.
+func synthMixture(n int, p float64, seed int64) (x [][]float64, truth []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for j := 0; j < n; j++ {
+		m := rng.Float64() < p
+		var g, e float64
+		if m {
+			g = 0.8 + rng.NormFloat64()*0.1
+			e = rng.ExpFloat64() / 2 // mean 0.5
+		} else {
+			g = 0.1 + rng.NormFloat64()*0.1
+			e = rng.ExpFloat64() / 20 // mean 0.05
+		}
+		x = append(x, []float64{g, e})
+		truth = append(truth, m)
+	}
+	return x, truth
+}
+
+func twoSpecs() []FeatureSpec {
+	return []FeatureSpec{
+		{Name: "gauss", Family: Gaussian},
+		{Name: "exp", Family: Exponential},
+	}
+}
+
+func TestFitRecoversMixture(t *testing.T) {
+	x, truth := synthMixture(2000, 0.3, 7)
+	model, resp, err := Fit(x, twoSpecs(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.P-0.3) > 0.07 {
+		t.Fatalf("mixing weight=%.3f, want ≈0.30", model.P)
+	}
+	// The matched component must be the high-mean one on both features.
+	if model.MatchedMean(0) <= model.UnmatchedMean(0) {
+		t.Fatalf("matched Gaussian mean %.3f not above unmatched %.3f",
+			model.MatchedMean(0), model.UnmatchedMean(0))
+	}
+	if model.MatchedMean(1) <= model.UnmatchedMean(1) {
+		t.Fatalf("matched Exponential mean %.3f not above unmatched %.3f",
+			model.MatchedMean(1), model.UnmatchedMean(1))
+	}
+	// Classification accuracy by responsibilities.
+	correct := 0
+	for j, r := range resp {
+		if (r > 0.5) == truth[j] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(resp))
+	if acc < 0.95 {
+		t.Fatalf("EM classification accuracy=%.3f, want ≥0.95", acc)
+	}
+}
+
+func TestLogOddsMonotoneWithEvidence(t *testing.T) {
+	x, _ := synthMixture(1500, 0.4, 11)
+	model, _, err := Fit(x, twoSpecs(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak := model.LogOdds([]float64{0.1, 0.02})
+	strong := model.LogOdds([]float64{0.8, 0.6})
+	if strong <= weak {
+		t.Fatalf("LogOdds(strong)=%.3f not above LogOdds(weak)=%.3f", strong, weak)
+	}
+	// Posterior consistency with odds.
+	if p := model.Posterior([]float64{0.8, 0.6}); p < 0.5 {
+		t.Fatalf("posterior of strong evidence=%.3f", p)
+	}
+	if p := model.Posterior([]float64{0.1, 0.02}); p > 0.5 {
+		t.Fatalf("posterior of weak evidence=%.3f", p)
+	}
+}
+
+func TestPosteriorOddsIdentity(t *testing.T) {
+	x, _ := synthMixture(500, 0.5, 3)
+	model, _, err := Fit(x, twoSpecs(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range [][]float64{{0.5, 0.1}, {0.9, 0.9}, {0, 0}} {
+		p := model.Posterior(g)
+		odds := model.LogOdds(g)
+		want := 1 / (1 + math.Exp(-odds))
+		if math.Abs(p-want) > 1e-9 {
+			t.Fatalf("posterior %.6f != sigmoid(odds) %.6f", p, want)
+		}
+	}
+}
+
+func TestMultinomialFamily(t *testing.T) {
+	// One multinomial feature over bins (-inf,0.5], (0.5,1.5], overflow.
+	spec := []FeatureSpec{{Name: "bin", Family: Multinomial, Bins: []float64{0.5, 1.5}}}
+	rng := rand.New(rand.NewSource(9))
+	var x [][]float64
+	var init []float64
+	for j := 0; j < 600; j++ {
+		if j%3 == 0 { // matched: values mostly 2 (overflow bin)
+			x = append(x, []float64{2 + rng.Float64()})
+			init = append(init, 0.9)
+		} else { // unmatched: values mostly 0
+			x = append(x, []float64{rng.Float64() * 0.4})
+			init = append(init, 0.1)
+		}
+	}
+	opts := DefaultOptions()
+	opts.InitResp = init
+	model, resp, err := Fit(x, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.P-1.0/3) > 0.05 {
+		t.Fatalf("multinomial mixing=%.3f, want ≈0.333", model.P)
+	}
+	if model.MatchedMean(0) <= model.UnmatchedMean(0) {
+		t.Fatal("matched multinomial mass not in higher bins")
+	}
+	correct := 0
+	for j, r := range resp {
+		if (r > 0.5) == (j%3 == 0) {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(resp)) < 0.98 {
+		t.Fatalf("multinomial accuracy=%.3f", float64(correct)/float64(len(resp)))
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	edges := []float64{0, 1, 2}
+	cases := []struct {
+		x    float64
+		want int
+	}{{-1, 0}, {0, 0}, {0.5, 1}, {1, 1}, {1.5, 2}, {2, 2}, {3, 3}}
+	for _, c := range cases {
+		if got := binOf(edges, c.x); got != c.want {
+			t.Errorf("binOf(%g)=%d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, _, err := Fit(nil, twoSpecs(), DefaultOptions()); err != ErrNoData {
+		t.Fatalf("empty fit err=%v", err)
+	}
+	if _, _, err := Fit([][]float64{{1}}, twoSpecs(), DefaultOptions()); err == nil {
+		t.Fatal("feature-count mismatch accepted")
+	}
+	if _, _, err := Fit([][]float64{{math.NaN(), 0}}, twoSpecs(), DefaultOptions()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	opts := DefaultOptions()
+	opts.InitResp = []float64{0.5, 0.5}
+	if _, _, err := Fit([][]float64{{1, 1}}, twoSpecs(), opts); err == nil {
+		t.Fatal("InitResp length mismatch accepted")
+	}
+}
+
+func TestFitDegenerateConstantFeature(t *testing.T) {
+	// All samples identical: EM must not blow up (variance floor) and
+	// must return finite likelihood.
+	x := make([][]float64, 50)
+	for j := range x {
+		x[j] = []float64{0.5, 0.0}
+	}
+	model, resp, err := Fit(x, twoSpecs(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(model.LogLikelihood) || math.IsInf(model.LogLikelihood, 0) {
+		t.Fatalf("degenerate LL=%v", model.LogLikelihood)
+	}
+	for _, r := range resp {
+		if math.IsNaN(r) {
+			t.Fatal("NaN responsibility")
+		}
+	}
+	if s := model.LogOdds([]float64{0.5, 0}); math.IsNaN(s) {
+		t.Fatal("NaN score on degenerate model")
+	}
+}
+
+func TestLikelihoodMonotone(t *testing.T) {
+	// EM's training LL must be non-decreasing across iteration caps.
+	x, _ := synthMixture(400, 0.4, 21)
+	prev := math.Inf(-1)
+	for _, iters := range []int{1, 2, 5, 20} {
+		opts := Options{MaxIter: iters, Tol: 1e-300}
+		model, _, err := Fit(x, twoSpecs(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if model.LogLikelihood+1e-6 < prev {
+			t.Fatalf("LL decreased: %.6f after %d iters < %.6f", model.LogLikelihood, iters, prev)
+		}
+		prev = model.LogLikelihood
+	}
+}
+
+func TestScorePanicsOnWrongArity(t *testing.T) {
+	x, _ := synthMixture(100, 0.5, 1)
+	model, _, _ := Fit(x, twoSpecs(), DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-arity LogOdds did not panic")
+		}
+	}()
+	model.LogOdds([]float64{1})
+}

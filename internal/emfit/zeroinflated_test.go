@@ -1,0 +1,89 @@
+package emfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZeroInflatedExponentialRecovery(t *testing.T) {
+	// Matched: 30% zeros, positives ~ Exp(mean 0.5).
+	// Unmatched: 95% zeros, positives ~ Exp(mean 0.05).
+	rng := rand.New(rand.NewSource(41))
+	var x [][]float64
+	var truth []bool
+	for j := 0; j < 3000; j++ {
+		m := rng.Float64() < 0.4
+		var v float64
+		if m {
+			if rng.Float64() >= 0.3 {
+				v = rng.ExpFloat64() / 2
+			}
+		} else {
+			if rng.Float64() >= 0.95 {
+				v = rng.ExpFloat64() * 0.05
+			}
+		}
+		x = append(x, []float64{v})
+		truth = append(truth, m)
+	}
+	spec := []FeatureSpec{{Name: "zie", Family: ZeroInflatedExponential}}
+	model, resp, err := Fit(x, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.P-0.4) > 0.12 {
+		t.Fatalf("mixing=%.3f, want ≈0.4", model.P)
+	}
+	correct := 0
+	for j, r := range resp {
+		if (r > 0.5) == truth[j] {
+			correct++
+		}
+	}
+	// Bayes-optimal accuracy here is ≈0.86: matched zeros (12% of the
+	// data) are indistinguishable from unmatched zeros by construction.
+	if acc := float64(correct) / float64(len(resp)); acc < 0.80 {
+		t.Fatalf("accuracy=%.3f, want ≥0.80", acc)
+	}
+	// The zero atom must keep the log-odds of an x=0 observation finite
+	// and moderate (the failure mode that motivated this family).
+	odds := model.LogOdds([]float64{0})
+	if math.IsInf(odds, 0) || math.Abs(odds) > 15 {
+		t.Fatalf("zero-observation log-odds=%.2f, want finite and moderate", odds)
+	}
+	// Positive evidence must raise the odds relative to zero evidence.
+	if model.LogOdds([]float64{0.5}) <= odds {
+		t.Fatal("positive observation did not raise log-odds")
+	}
+}
+
+func TestZeroInflatedAllZeros(t *testing.T) {
+	x := make([][]float64, 40)
+	for i := range x {
+		x[i] = []float64{0}
+	}
+	spec := []FeatureSpec{{Family: ZeroInflatedExponential}}
+	model, _, err := Fit(x, spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(model.LogOdds([]float64{0})) || math.IsNaN(model.LogOdds([]float64{1})) {
+		t.Fatal("NaN log-odds on degenerate all-zero data")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	cases := map[Family]string{
+		Gaussian:                "gaussian",
+		Exponential:             "exponential",
+		Multinomial:             "multinomial",
+		ZeroInflatedExponential: "zero-inflated-exponential",
+		Family(99):              "Family(99)",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("String(%d)=%q, want %q", int(f), f.String(), want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Gradient-boosted trees with logistic loss. The tree builder works on
+// per-sample gradient/hessian pairs, with the regularized leaf weight
+// and split gain of the XGBoost objective:
+//
+//	leaf   w* = −G / (H + λ)
+//	gain      = ½·[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ
+//
+// GBDT (Friedman 2001 with Newton leaves) is the λ=0, γ=0, no-subsample
+// special case, which is how the two baselines differ here.
+
+// BoostConfig tunes gradient boosting.
+type BoostConfig struct {
+	Rounds    int
+	MaxDepth  int
+	LearnRate float64
+	// Lambda is the L2 leaf regularizer; Gamma the split penalty.
+	Lambda, Gamma float64
+	// Subsample in (0,1] rows per round (stochastic boosting).
+	Subsample float64
+	Seed      int64
+}
+
+// DefaultGBDTConfig parameterizes plain gradient boosting.
+func DefaultGBDTConfig() BoostConfig {
+	return BoostConfig{Rounds: 60, MaxDepth: 4, LearnRate: 0.15, Subsample: 1}
+}
+
+// DefaultXGBConfig parameterizes the regularized variant.
+func DefaultXGBConfig() BoostConfig {
+	return BoostConfig{Rounds: 60, MaxDepth: 4, LearnRate: 0.15,
+		Lambda: 1, Gamma: 0.1, Subsample: 0.8, Seed: 1}
+}
+
+// gbNode is a regression-tree node with a leaf weight.
+type gbNode struct {
+	feature int
+	thresh  float64
+	left    *gbNode
+	right   *gbNode
+	weight  float64
+	isLeaf  bool
+}
+
+// GradientBoost is a fitted boosted-tree model.
+type GradientBoost struct {
+	bias  float64 // initial log-odds
+	trees []*gbNode
+	lr    float64
+}
+
+// TrainBoost fits gradient-boosted trees with logistic loss.
+func TrainBoost(x [][]float64, y []bool, cfg BoostConfig) *GradientBoost {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 60
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 4
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.15
+	}
+	if cfg.Subsample <= 0 || cfg.Subsample > 1 {
+		cfg.Subsample = 1
+	}
+	n := len(x)
+	gb := &GradientBoost{lr: cfg.LearnRate}
+	if n == 0 {
+		return gb
+	}
+	pos := 0
+	for _, yi := range y {
+		if yi {
+			pos++
+		}
+	}
+	p0 := clampProb(float64(pos) / float64(n))
+	gb.bias = math.Log(p0 / (1 - p0))
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := make([]float64, n) // current margins
+	for i := range f {
+		f[i] = gb.bias
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			p := sigmoid(f[i])
+			t := 0.0
+			if y[i] {
+				t = 1
+			}
+			grad[i] = p - t // dL/df for logistic loss
+			hess[i] = p * (1 - p)
+			if hess[i] < 1e-9 {
+				hess[i] = 1e-9
+			}
+		}
+		idx := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if cfg.Subsample >= 1 || rng.Float64() < cfg.Subsample {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		tree := growGB(x, grad, hess, idx, cfg.MaxDepth, cfg.Lambda, cfg.Gamma)
+		gb.trees = append(gb.trees, tree)
+		for i := 0; i < n; i++ {
+			f[i] += cfg.LearnRate * applyGB(tree, x[i])
+		}
+	}
+	return gb
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-4
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+func growGB(x [][]float64, grad, hess []float64, idx []int, depth int, lambda, gamma float64) *gbNode {
+	var g, h float64
+	for _, i := range idx {
+		g += grad[i]
+		h += hess[i]
+	}
+	leaf := &gbNode{isLeaf: true, weight: -g / (h + lambda)}
+	if depth <= 0 || len(idx) < 4 {
+		return leaf
+	}
+	feature, thresh, gain := bestGBSplit(x, grad, hess, idx, g, h, lambda)
+	if gain <= gamma {
+		return leaf
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][feature] <= thresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return leaf
+	}
+	return &gbNode{
+		feature: feature,
+		thresh:  thresh,
+		left:    growGB(x, grad, hess, li, depth-1, lambda, gamma),
+		right:   growGB(x, grad, hess, ri, depth-1, lambda, gamma),
+	}
+}
+
+func bestGBSplit(x [][]float64, grad, hess []float64, idx []int, g, h, lambda float64) (feature int, thresh, gain float64) {
+	dims := len(x[idx[0]])
+	parent := g * g / (h + lambda)
+	best := 0.0
+	feature = -1
+	type sample struct{ v, g, h float64 }
+	buf := make([]sample, 0, len(idx))
+	for f := 0; f < dims; f++ {
+		buf = buf[:0]
+		for _, i := range idx {
+			buf = append(buf, sample{x[i][f], grad[i], hess[i]})
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].v < buf[b].v })
+		var lg, lh float64
+		for k := 0; k+1 < len(buf); k++ {
+			lg += buf[k].g
+			lh += buf[k].h
+			if buf[k].v == buf[k+1].v {
+				continue
+			}
+			rg, rh := g-lg, h-lh
+			gn := 0.5 * (lg*lg/(lh+lambda) + rg*rg/(rh+lambda) - parent)
+			if gn > best {
+				best = gn
+				feature = f
+				thresh = (buf[k].v + buf[k+1].v) / 2
+			}
+		}
+	}
+	return feature, thresh, best
+}
+
+func applyGB(n *gbNode, x []float64) float64 {
+	for !n.isLeaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.weight
+}
+
+// PredictProb implements Classifier.
+func (gb *GradientBoost) PredictProb(x []float64) float64 {
+	f := gb.bias
+	for _, t := range gb.trees {
+		f += gb.lr * applyGB(t, x)
+	}
+	return sigmoid(f)
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPerfectClustering(t *testing.T) {
+	var pc PairCounts
+	pc.AddName([]Instance{
+		{Cluster: 0, Truth: 10}, {Cluster: 0, Truth: 10},
+		{Cluster: 1, Truth: 20}, {Cluster: 1, Truth: 20}, {Cluster: 1, Truth: 20},
+	})
+	m := pc.Metrics()
+	if m.MicroA != 1 || m.MicroP != 1 || m.MicroR != 1 || m.MicroF != 1 {
+		t.Fatalf("perfect clustering metrics=%v", m)
+	}
+	// 5 instances → 10 pairs: TP = C(2,2)+C(3,2) = 1+3 = 4, TN = 6.
+	if pc.TP != 4 || pc.TN != 6 || pc.FP != 0 || pc.FN != 0 {
+		t.Fatalf("counts=%+v", pc)
+	}
+}
+
+func TestAllSingletons(t *testing.T) {
+	// Everything predicted apart while truth says together: pure FN.
+	var pc PairCounts
+	pc.AddName([]Instance{
+		{Cluster: 0, Truth: 1}, {Cluster: 1, Truth: 1}, {Cluster: 2, Truth: 1},
+	})
+	if pc.FN != 3 || pc.TP != 0 || pc.FP != 0 || pc.TN != 0 {
+		t.Fatalf("counts=%+v", pc)
+	}
+	m := pc.Metrics()
+	if m.MicroR != 0 || m.MicroP != 0 || m.MicroF != 0 {
+		t.Fatalf("metrics=%v", m)
+	}
+}
+
+func TestAllMergedWrongly(t *testing.T) {
+	// Everything predicted together while truth says apart: pure FP.
+	var pc PairCounts
+	pc.AddName([]Instance{
+		{Cluster: 0, Truth: 1}, {Cluster: 0, Truth: 2}, {Cluster: 0, Truth: 3},
+	})
+	if pc.FP != 3 || pc.TP != 0 {
+		t.Fatalf("counts=%+v", pc)
+	}
+}
+
+func TestKnownMixedExample(t *testing.T) {
+	// 4 instances: clusters {a,a,b,b}, truth {x,y,x,y}.
+	// Pairs: (1,2):pred same, truth diff → FP. (1,3): pred diff, truth same → FN.
+	// (1,4): diff/diff → TN. (2,3): diff/diff → TN. (2,4): diff/same → FN.
+	// (3,4): same/diff → FP.
+	var pc PairCounts
+	pc.AddName([]Instance{
+		{Cluster: 0, Truth: 1}, {Cluster: 0, Truth: 2},
+		{Cluster: 1, Truth: 1}, {Cluster: 1, Truth: 2},
+	})
+	if pc.TP != 0 || pc.FP != 2 || pc.FN != 2 || pc.TN != 2 {
+		t.Fatalf("counts=%+v", pc)
+	}
+	m := pc.Metrics()
+	if math.Abs(m.MicroA-1.0/3) > 1e-12 {
+		t.Fatalf("MicroA=%v", m.MicroA)
+	}
+}
+
+func TestMultipleNamesAccumulate(t *testing.T) {
+	var pc PairCounts
+	pc.AddName([]Instance{{0, 1}, {0, 1}}) // 1 TP
+	pc.AddName([]Instance{{0, 1}, {1, 2}}) // 1 TN
+	pc.AddName([]Instance{{5, 9}})         // single instance: nothing
+	if pc.TP != 1 || pc.TN != 1 || pc.Total() != 2 {
+		t.Fatalf("counts=%+v", pc)
+	}
+}
+
+// bruteForce recomputes counts pair by pair.
+func bruteForce(instances []Instance) PairCounts {
+	var pc PairCounts
+	for i := 0; i < len(instances); i++ {
+		for j := i + 1; j < len(instances); j++ {
+			samePred := instances[i].Cluster == instances[j].Cluster
+			sameTruth := instances[i].Truth == instances[j].Truth
+			switch {
+			case samePred && sameTruth:
+				pc.TP++
+			case samePred && !sameTruth:
+				pc.FP++
+			case !samePred && sameTruth:
+				pc.FN++
+			default:
+				pc.TN++
+			}
+		}
+	}
+	return pc
+}
+
+// Property: the cell-counting identity agrees with brute-force pairs.
+func TestAddNameMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		ins := make([]Instance, n)
+		for i := range ins {
+			ins[i] = Instance{Cluster: rng.Intn(5), Truth: rng.Intn(5)}
+		}
+		var fast PairCounts
+		fast.AddName(ins)
+		return fast == bruteForce(ins)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	var pc PairCounts
+	m := pc.Metrics()
+	if m.MicroA != 0 || m.MicroP != 0 || m.MicroR != 0 || m.MicroF != 0 {
+		t.Fatalf("empty metrics=%v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{MicroA: 0.8174, MicroP: 0.8608, MicroR: 0.8113, MicroF: 0.8353}
+	want := "MicroA=0.8174 MicroP=0.8608 MicroR=0.8113 MicroF=0.8353"
+	if m.String() != want {
+		t.Fatalf("String()=%q", m.String())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var sw Stopwatch
+	sw.Observe(10 * time.Millisecond)
+	sw.Observe(30 * time.Millisecond)
+	if sw.Count() != 2 {
+		t.Fatalf("Count=%d", sw.Count())
+	}
+	if sw.Average() != 20*time.Millisecond {
+		t.Fatalf("Average=%v", sw.Average())
+	}
+	if sw.TotalDuration() != 40*time.Millisecond {
+		t.Fatalf("Total=%v", sw.TotalDuration())
+	}
+	var empty Stopwatch
+	if empty.Average() != 0 {
+		t.Fatal("empty average nonzero")
+	}
+	ran := false
+	empty.Time(func() { ran = true })
+	if !ran || empty.Count() != 1 {
+		t.Fatal("Time did not run/record")
+	}
+}

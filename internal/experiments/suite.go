@@ -1,0 +1,176 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§VI): Fig. 3 (descriptive power laws), Table III
+// (comparison against eight baselines), Table IV (stage analysis),
+// Table V (scalability), Fig. 5 (data-scale curves), Table VI
+// (incremental disambiguation), and Fig. 6 (single-similarity threshold
+// sweeps). Each driver returns a Table that prints the same rows/series
+// the paper reports; EXPERIMENTS.md records measured-vs-paper values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"iuad/internal/bib"
+	"iuad/internal/core"
+	"iuad/internal/eval"
+	"iuad/internal/synth"
+	"iuad/internal/textvec"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// Options configures a Suite.
+type Options struct {
+	// Synth parameterizes the corpus generator.
+	Synth synth.Config
+	// Core parameterizes IUAD.
+	Core core.Config
+	// TestNames is how many of the most ambiguous names form the test
+	// set (the paper uses 50).
+	TestNames int
+	// MinAuthorsPerName filters test candidates (2+ like Table II).
+	MinAuthorsPerName int
+}
+
+// DefaultOptions mirrors the paper's setup at laptop scale.
+func DefaultOptions() Options {
+	return Options{
+		Synth:             synth.DefaultConfig(),
+		Core:              core.DefaultConfig(),
+		TestNames:         50,
+		MinAuthorsPerName: 2,
+	}
+}
+
+// QuickOptions shrinks everything for tests and smoke runs. Small worlds
+// need proportionally denser collaboration to carry any stable structure,
+// hence the higher repeat bias than the default corpus.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Synth.Authors = 1000
+	o.Synth.Communities = 16
+	o.Synth.Vocabulary = 500
+	o.Synth.TopicWordsPerCommunity = 40
+	o.Synth.RepeatCollabBias = 0.75
+	o.Core.Embedding.Dim = 24
+	o.Core.Embedding.Epochs = 2
+	o.Core.SampleRate = 0.5
+	o.TestNames = 15
+	return o
+}
+
+// Suite holds a generated dataset and the shared caches the experiment
+// drivers reuse.
+type Suite struct {
+	Opts    Options
+	Dataset *synth.Dataset
+	Corpus  *bib.Corpus
+	// TestNames is the evaluation name set (most ambiguous first);
+	// TrainNames are the remaining ambiguous names, used to train the
+	// supervised baselines (disjoint from TestNames).
+	TestNames  []string
+	TrainNames []string
+	// Emb is the corpus-wide keyword embedding shared by γ³ and the
+	// Aminer baseline's global representation.
+	Emb *textvec.Embeddings
+}
+
+// NewSuite generates the dataset and shared artifacts.
+func NewSuite(o Options) (*Suite, error) {
+	d := synth.Generate(o.Synth)
+	amb := d.AmbiguousNames(o.MinAuthorsPerName)
+	if len(amb) < o.TestNames {
+		return nil, fmt.Errorf("experiments: only %d ambiguous names, need %d",
+			len(amb), o.TestNames)
+	}
+	s := &Suite{
+		Opts:       o,
+		Dataset:    d,
+		Corpus:     d.Corpus,
+		TestNames:  amb[:o.TestNames],
+		TrainNames: amb[o.TestNames:],
+	}
+	s.Emb = core.TrainEmbeddings(d.Corpus, o.Core.Embedding)
+	return s, nil
+}
+
+// NetworkMetrics evaluates a network's slot assignment over names.
+func NetworkMetrics(corpus *bib.Corpus, net *core.Network, names []string) eval.Metrics {
+	var pc eval.PairCounts
+	AddNetworkCounts(&pc, corpus, net, names)
+	return pc.Metrics()
+}
+
+// AddNetworkCounts folds a network's assignments for names into pc.
+func AddNetworkCounts(pc *eval.PairCounts, corpus *bib.Corpus, net *core.Network, names []string) {
+	for _, name := range names {
+		var ins []eval.Instance
+		for _, pid := range corpus.PapersWithName(name) {
+			p := corpus.Paper(pid)
+			idx := p.AuthorIndex(name)
+			ins = append(ins, eval.Instance{
+				Cluster: net.ClusterOfSlot(core.Slot{Paper: pid, Index: idx}),
+				Truth:   int(p.TruthAt(idx)),
+			})
+		}
+		pc.AddName(ins)
+	}
+}
+
+// AddLabelCounts folds a per-name clustering (labels aligned with
+// papers) into pc.
+func AddLabelCounts(pc *eval.PairCounts, corpus *bib.Corpus, name string, papers []bib.PaperID, labels []int) {
+	ins := make([]eval.Instance, len(papers))
+	for i, pid := range papers {
+		p := corpus.Paper(pid)
+		ins[i] = eval.Instance{
+			Cluster: labels[i],
+			Truth:   int(p.TruthAt(p.AuthorIndex(name))),
+		}
+	}
+	pc.AddName(ins)
+}
+
+func fm(v float64) string { return fmt.Sprintf("%.4f", v) }

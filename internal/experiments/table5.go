@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"iuad/internal/baselines"
+	"iuad/internal/core"
+	"iuad/internal/eval"
+)
+
+// ScalePoint is one (fraction, method → avg time per name) measurement.
+type ScalePoint struct {
+	Fraction float64
+	Times    map[string]time.Duration
+}
+
+// RunTable5 reproduces the Table V scalability analysis: average
+// disambiguation time per test name for the unsupervised methods at
+// 20%..100% of the corpus.
+//
+// Expected shape (paper): IUAD is fastest at every scale; GHOST is
+// slowest and grows superlinearly; NetE grows mildly.
+func RunTable5(s *Suite, fractions []float64) (Table, []ScalePoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	methods := []string{"ANON", "NetE", "Aminer", "GHOST", "IUAD"}
+	var points []ScalePoint
+	for _, frac := range fractions {
+		n := int(frac * float64(s.Corpus.Len()))
+		sub := s.Corpus.Subset(n)
+		point := ScalePoint{Fraction: frac, Times: map[string]time.Duration{}}
+
+		// Test names present in this subset with at least two papers.
+		var names []string
+		for _, name := range s.TestNames {
+			if len(sub.PapersWithName(name)) >= 2 {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			return Table{}, nil, fmt.Errorf("table5: no test names at fraction %.2f", frac)
+		}
+		for _, d := range []baselines.Disambiguator{
+			baselines.NewANON(1),
+			baselines.NewNetE(1),
+			baselines.NewAminer(s.Emb, 1),
+			baselines.NewGHOST(),
+		} {
+			var sw eval.Stopwatch
+			for _, name := range names {
+				papers := sub.PapersWithName(name)
+				sw.Time(func() { d.Cluster(sub, name, papers) })
+			}
+			point.Times[d.Name()] = sw.Average()
+		}
+		// IUAD disambiguates every name in one global run; its per-name
+		// cost divides by all names with work to do (see runIUAD).
+		start := time.Now()
+		if _, err := core.Run(sub, s.Opts.Core); err != nil {
+			return Table{}, nil, fmt.Errorf("table5: IUAD at %.2f: %w", frac, err)
+		}
+		point.Times["IUAD"] = time.Since(start) / time.Duration(disambiguableNames(sub))
+		points = append(points, point)
+	}
+
+	t := Table{
+		ID:     "table5",
+		Title:  "average time cost per name disambiguation (Table V)",
+		Header: []string{"Algorithm"},
+	}
+	for _, f := range fractions {
+		t.Header = append(t.Header, fmt.Sprintf("%.0f%%", f*100))
+	}
+	for _, m := range methods {
+		row := []string{m}
+		for _, p := range points {
+			row = append(row, fmt.Sprintf("%.3fs", p.Times[m].Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, points, nil
+}
+
+// RunFig5 reproduces the Fig. 5 data-scale analysis: IUAD's four metrics
+// at 20%..100% of the corpus.
+//
+// Expected shape (paper): precision roughly flat and high; recall climbs
+// from ≈0.5 toward >0.8 as data grows.
+func RunFig5(s *Suite, fractions []float64) (Table, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	t := Table{
+		ID:     "fig5",
+		Title:  "data scale analysis (Fig. 5)",
+		Header: []string{"scale", "MicroA", "MicroP", "MicroR", "MicroF"},
+	}
+	for _, frac := range fractions {
+		n := int(frac * float64(s.Corpus.Len()))
+		sub := s.Corpus.Subset(n)
+		var names []string
+		for _, name := range s.TestNames {
+			if len(sub.PapersWithName(name)) >= 2 {
+				names = append(names, name)
+			}
+		}
+		pl, err := core.Run(sub, s.Opts.Core)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig5 at %.2f: %w", frac, err)
+		}
+		m := NetworkMetrics(sub, pl.GCN, names)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", frac*100),
+			fm(m.MicroA), fm(m.MicroP), fm(m.MicroR), fm(m.MicroF),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"iuad/internal/bib"
+	"iuad/internal/core"
+	"iuad/internal/eval"
+)
+
+// IncrementalResult reports one Table VI column: batch metrics on the
+// base corpus, metrics after streaming the held-out papers, and the
+// average time per streamed paper.
+type IncrementalResult struct {
+	Held        int
+	Base        eval.Metrics // "MicroX" rows — GCN on part 1
+	After       eval.Metrics // "MicroX+" rows — entire data after streaming
+	PerPaper    time.Duration
+	Assigned    int // slots attached to existing vertices
+	NewVertices int
+}
+
+// RunTable6 reproduces the Table VI incremental analysis: the newest
+// `held` papers are withheld, a GCN is built on the rest, and the
+// held-out papers are streamed through AddPaper one at a time.
+//
+// Expected shape (paper): metrics move by under ±0.03 versus batch, and
+// the per-paper cost is tens of milliseconds (paper: <50 ms).
+func RunTable6(s *Suite, holdouts []int) (Table, []IncrementalResult, error) {
+	if len(holdouts) == 0 {
+		holdouts = []int{100, 200, 300}
+	}
+	var results []IncrementalResult
+	for _, held := range holdouts {
+		if held >= s.Corpus.Len() {
+			return Table{}, nil, fmt.Errorf("table6: holdout %d ≥ corpus %d", held, s.Corpus.Len())
+		}
+		base := s.Corpus.Subset(s.Corpus.Len() - held)
+		pl, err := core.Run(base, s.Opts.Core)
+		if err != nil {
+			return Table{}, nil, fmt.Errorf("table6: batch run: %w", err)
+		}
+		r := IncrementalResult{Held: held}
+		r.Base = NetworkMetrics(base, pl.GCN, s.TestNames)
+
+		var sw eval.Stopwatch
+		// Track streamed instances per test name for the "+" metrics.
+		extra := map[string][]eval.Instance{}
+		testSet := map[string]struct{}{}
+		for _, n := range s.TestNames {
+			testSet[n] = struct{}{}
+		}
+		for i := base.Len(); i < s.Corpus.Len(); i++ {
+			orig := s.Corpus.Paper(bib.PaperID(i))
+			p := bib.Paper{
+				Title: orig.Title, Venue: orig.Venue, Year: orig.Year,
+				Authors: append([]string(nil), orig.Authors...),
+			}
+			var as []core.Assignment
+			sw.Time(func() {
+				var err error
+				as, err = pl.AddPaper(p)
+				if err != nil {
+					panic(err) // structurally impossible: papers are pre-validated
+				}
+			})
+			for idx, a := range as {
+				if a.Created {
+					r.NewVertices++
+				} else {
+					r.Assigned++
+				}
+				name := orig.Authors[idx]
+				if _, ok := testSet[name]; ok {
+					extra[name] = append(extra[name], eval.Instance{
+						Cluster: a.Vertex,
+						Truth:   int(orig.TruthAt(idx)),
+					})
+				}
+			}
+		}
+		r.PerPaper = sw.Average()
+
+		// "+" metrics: base instances plus streamed instances, evaluated
+		// against the updated GCN.
+		var pc eval.PairCounts
+		for _, name := range s.TestNames {
+			var ins []eval.Instance
+			for _, pid := range base.PapersWithName(name) {
+				p := base.Paper(pid)
+				idx := p.AuthorIndex(name)
+				ins = append(ins, eval.Instance{
+					Cluster: pl.GCN.ClusterOfSlot(core.Slot{Paper: pid, Index: idx}),
+					Truth:   int(p.TruthAt(idx)),
+				})
+			}
+			ins = append(ins, extra[name]...)
+			pc.AddName(ins)
+		}
+		r.After = pc.Metrics()
+		results = append(results, r)
+	}
+
+	t := Table{
+		ID:     "table6",
+		Title:  "performance and efficiency of incremental disambiguation (Table VI)",
+		Header: []string{"Metric"},
+	}
+	for _, r := range results {
+		t.Header = append(t.Header, fmt.Sprint(r.Held))
+	}
+	addRow := func(name string, get func(IncrementalResult) string) {
+		row := []string{name}
+		for _, r := range results {
+			row = append(row, get(r))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	addRow("MicroA", func(r IncrementalResult) string { return fm(r.Base.MicroA) })
+	addRow("MicroA+", func(r IncrementalResult) string { return fm(r.After.MicroA) })
+	addRow("MicroP", func(r IncrementalResult) string { return fm(r.Base.MicroP) })
+	addRow("MicroP+", func(r IncrementalResult) string { return fm(r.After.MicroP) })
+	addRow("MicroR", func(r IncrementalResult) string { return fm(r.Base.MicroR) })
+	addRow("MicroR+", func(r IncrementalResult) string { return fm(r.After.MicroR) })
+	addRow("MicroF", func(r IncrementalResult) string { return fm(r.Base.MicroF) })
+	addRow("MicroF+", func(r IncrementalResult) string { return fm(r.After.MicroF) })
+	addRow("Avg. time (ms)", func(r IncrementalResult) string {
+		return fmt.Sprintf("%.2f", float64(r.PerPaper.Microseconds())/1000)
+	})
+	return t, results, nil
+}

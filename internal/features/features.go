@@ -1,0 +1,127 @@
+// Package features extracts pairwise paper features for the supervised
+// baselines of §VI-A3, following the feature design of Treeratpituk &
+// Giles (JCDL 2009) [17]: given two papers that both mention a target
+// name, produce similarities of co-authors, titles (keywords), venues and
+// years from which a classifier decides whether the two occurrences are
+// the same person.
+package features
+
+import (
+	"math"
+
+	"iuad/internal/bib"
+)
+
+// Dim is the number of features produced by PairFeatures.
+const Dim = 8
+
+// Names lists the feature names in vector order.
+var Names = [Dim]string{
+	"shared-coauthors",
+	"jaccard-coauthors",
+	"shared-keywords",
+	"jaccard-keywords",
+	"idf-shared-keywords",
+	"venue-match",
+	"venue-idf",
+	"year-gap",
+}
+
+// Extractor computes pairwise features against corpus-level statistics.
+type Extractor struct {
+	corpus *bib.Corpus
+}
+
+// NewExtractor builds an extractor over a frozen corpus.
+func NewExtractor(c *bib.Corpus) *Extractor { return &Extractor{corpus: c} }
+
+// PairFeatures returns the Dim-vector for papers a and b with respect to
+// the ambiguous target name (excluded from co-author comparisons).
+func (e *Extractor) PairFeatures(a, b bib.PaperID, target string) []float64 {
+	pa, pb := e.corpus.Paper(a), e.corpus.Paper(b)
+	out := make([]float64, Dim)
+
+	// Co-author overlap, excluding the target name itself.
+	ca := otherAuthors(pa, target)
+	cb := otherAuthors(pb, target)
+	shared := intersectCount(ca, cb)
+	out[0] = float64(shared)
+	out[1] = jaccard(shared, len(ca), len(cb))
+
+	// Keyword overlap.
+	ka := keywordSet(pa.Title)
+	kb := keywordSet(pb.Title)
+	sharedKW := 0
+	idfSum := 0.0
+	for w := range ka {
+		if _, ok := kb[w]; !ok {
+			continue
+		}
+		sharedKW++
+		f := e.corpus.WordFrequency(w)
+		if f < 2 {
+			f = 2
+		}
+		idfSum += 1 / math.Log(float64(f))
+	}
+	out[2] = float64(sharedKW)
+	out[3] = jaccard(sharedKW, len(ka), len(kb))
+	out[4] = idfSum
+
+	// Venue agreement.
+	if pa.Venue != "" && pa.Venue == pb.Venue {
+		out[5] = 1
+		f := e.corpus.VenueFrequency(pa.Venue)
+		if f < 2 {
+			f = 2
+		}
+		out[6] = 1 / math.Log(float64(f))
+	}
+
+	// Temporal distance (same-author papers cluster in time).
+	gap := pa.Year - pb.Year
+	if gap < 0 {
+		gap = -gap
+	}
+	out[7] = float64(gap)
+	return out
+}
+
+func otherAuthors(p *bib.Paper, target string) map[string]struct{} {
+	out := make(map[string]struct{}, len(p.Authors))
+	for _, a := range p.Authors {
+		if a != target {
+			out[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+func keywordSet(title string) map[string]struct{} {
+	out := map[string]struct{}{}
+	for _, w := range bib.Keywords(title) {
+		out[w] = struct{}{}
+	}
+	return out
+}
+
+func intersectCount(a, b map[string]struct{}) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for x := range a {
+		if _, ok := b[x]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func jaccard(shared, na, nb int) float64 {
+	union := na + nb - shared
+	if union <= 0 {
+		return 0
+	}
+	return float64(shared) / float64(union)
+}

@@ -1,0 +1,82 @@
+package features
+
+import (
+	"testing"
+
+	"iuad/internal/bib"
+)
+
+func corpus(t *testing.T) *bib.Corpus {
+	t.Helper()
+	c := bib.NewCorpus(0)
+	c.MustAdd(bib.Paper{ // 0
+		Title: "Graph Kernels for Disambiguation", Venue: "KDD", Year: 2010,
+		Authors: []string{"Wei Wang", "Ann Lee", "Bo Chen"},
+	})
+	c.MustAdd(bib.Paper{ // 1
+		Title: "Graph Kernels at Scale", Venue: "KDD", Year: 2012,
+		Authors: []string{"Wei Wang", "Ann Lee"},
+	})
+	c.MustAdd(bib.Paper{ // 2
+		Title: "Streaming Joins", Venue: "VLDB", Year: 2005,
+		Authors: []string{"Wei Wang", "Cara Diaz"},
+	})
+	c.Freeze()
+	return c
+}
+
+func TestPairFeaturesSimilarPapers(t *testing.T) {
+	e := NewExtractor(corpus(t))
+	f := e.PairFeatures(0, 1, "Wei Wang")
+	if len(f) != Dim {
+		t.Fatalf("len=%d", len(f))
+	}
+	if f[0] != 1 { // shared co-author Ann Lee (target excluded)
+		t.Fatalf("shared-coauthors=%v", f[0])
+	}
+	// Jaccard coauthors: |{Ann}| / |{Ann,Bo}| = 0.5.
+	if f[1] != 0.5 {
+		t.Fatalf("jaccard-coauthors=%v", f[1])
+	}
+	// Shared keywords: graph, kernels.
+	if f[2] != 2 {
+		t.Fatalf("shared-keywords=%v", f[2])
+	}
+	if f[4] <= 0 {
+		t.Fatalf("idf-shared-keywords=%v", f[4])
+	}
+	if f[5] != 1 || f[6] <= 0 {
+		t.Fatalf("venue features=%v %v", f[5], f[6])
+	}
+	if f[7] != 2 {
+		t.Fatalf("year-gap=%v", f[7])
+	}
+}
+
+func TestPairFeaturesDissimilarPapers(t *testing.T) {
+	e := NewExtractor(corpus(t))
+	f := e.PairFeatures(0, 2, "Wei Wang")
+	if f[0] != 0 || f[1] != 0 {
+		t.Fatalf("coauthor features=%v", f[:2])
+	}
+	if f[2] != 0 || f[4] != 0 {
+		t.Fatalf("keyword features=%v %v", f[2], f[4])
+	}
+	if f[5] != 0 || f[6] != 0 {
+		t.Fatalf("venue features=%v %v", f[5], f[6])
+	}
+	if f[7] != 5 {
+		t.Fatalf("year-gap=%v", f[7])
+	}
+}
+
+func TestPairFeaturesSymmetric(t *testing.T) {
+	e := NewExtractor(corpus(t))
+	ab := e.PairFeatures(0, 1, "Wei Wang")
+	ba := e.PairFeatures(1, 0, "Wei Wang")
+	for i := range ab {
+		if ab[i] != ba[i] {
+			t.Fatalf("feature %s asymmetric: %v vs %v", Names[i], ab[i], ba[i])
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package graph implements the undirected-graph substrate used across the
+// repository: adjacency-set storage with O(1) edge tests, connected
+// components, per-vertex triangle listing (the clique lists of §V-B1),
+// bounded-radius ego subgraphs (for the Weisfeiler–Lehman kernel of γ¹),
+// random walks (for DeepWalk-style baseline embeddings), and degree
+// statistics (for the scale-free analyses of §IV-A).
+//
+// Vertices are dense int indexes, so callers keep their own mapping from
+// domain objects (authors, papers) to vertex IDs.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a mutable undirected simple graph. Self-loops and parallel
+// edges are rejected. The zero value is an empty graph.
+type Graph struct {
+	adj   []map[int32]struct{}
+	edges int
+}
+
+// New returns a graph with n initial vertices (0..n-1).
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[int32]struct{}, n)}
+	return g
+}
+
+// AddVertex appends a vertex and returns its ID.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge inserts edge {u,v}. It reports whether the edge is new, and
+// panics on out-of-range vertices or self-loops (programming errors).
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	g.check(u)
+	g.check(v)
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int32]struct{}, 4)
+	}
+	if _, ok := g.adj[u][int32(v)]; ok {
+		return false
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int32]struct{}, 4)
+	}
+	g.adj[u][int32(v)] = struct{}{}
+	g.adj[v][int32(u)] = struct{}{}
+	g.edges++
+	return true
+}
+
+// HasEdge reports whether {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[u][int32(v)]
+	return ok
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbor IDs of v. The slice is freshly
+// allocated.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, int(u))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VisitNeighbors calls fn for each neighbor of v in unspecified order.
+func (g *Graph) VisitNeighbors(v int, fn func(u int)) {
+	g.check(v)
+	for u := range g.adj[v] {
+		fn(int(u))
+	}
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// Components returns the connected-component ID of every vertex plus the
+// number of components. IDs are dense, assigned in order of discovery.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, len(g.adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	for start := range g.adj {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = count
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for u := range g.adj[v] {
+				if comp[u] == -1 {
+					comp[u] = count
+					stack = append(stack, int(u))
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// Triangle is a vertex triple with A < B < C.
+type Triangle struct{ A, B, C int }
+
+// TrianglesOf lists all triangles containing v. This is the "co-author
+// clique" list L(v) of Eq. 5 — the paper restricts clique listing to
+// triangles for tractability, and so do we.
+func (g *Graph) TrianglesOf(v int) []Triangle {
+	g.check(v)
+	nbrs := g.Neighbors(v)
+	var out []Triangle
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				tri := normTriangle(v, nbrs[i], nbrs[j])
+				out = append(out, tri)
+			}
+		}
+	}
+	return out
+}
+
+func normTriangle(a, b, c int) Triangle {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Triangle{a, b, c}
+}
+
+// CountTriangles returns the total number of distinct triangles using the
+// forward (oriented) algorithm: each triangle is counted once at its
+// lowest-degree pivot.
+func (g *Graph) CountTriangles() int {
+	n := len(g.adj)
+	// Order vertices by (degree, id); orient edges from lower to higher.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := len(g.adj[order[a]]), len(g.adj[order[b]])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int, n)
+	for r, v := range order {
+		rank[v] = r
+	}
+	fwd := make([][]int32, n)
+	for v := range g.adj {
+		for u := range g.adj[v] {
+			if rank[int(u)] > rank[v] {
+				fwd[v] = append(fwd[v], u)
+			}
+		}
+	}
+	mark := make([]bool, n)
+	total := 0
+	for _, v := range order {
+		for _, u := range fwd[v] {
+			mark[u] = true
+		}
+		for _, u := range fwd[v] {
+			for _, w := range fwd[int(u)] {
+				if mark[w] {
+					total++
+				}
+			}
+		}
+		for _, u := range fwd[v] {
+			mark[u] = false
+		}
+	}
+	return total
+}
+
+// Ego returns the induced subgraph of all vertices within the given hop
+// radius of center, plus the mapping local→original ID (mapping[0] is
+// center). Radius 0 yields just the center.
+func (g *Graph) Ego(center, radius int) (*Graph, []int) {
+	g.check(center)
+	dist := map[int]int{center: 0}
+	frontier := []int{center}
+	order := []int{center}
+	for d := 0; d < radius; d++ {
+		var next []int
+		for _, v := range frontier {
+			for u := range g.adj[v] {
+				if _, seen := dist[int(u)]; !seen {
+					dist[int(u)] = d + 1
+					next = append(next, int(u))
+					order = append(order, int(u))
+				}
+			}
+		}
+		frontier = next
+	}
+	local := make(map[int]int, len(order))
+	for i, v := range order {
+		local[v] = i
+	}
+	sub := New(len(order))
+	for _, v := range order {
+		for u := range g.adj[v] {
+			lu, ok := local[int(u)]
+			if !ok {
+				continue
+			}
+			lv := local[v]
+			if lv < lu {
+				sub.AddEdge(lv, lu)
+			}
+		}
+	}
+	return sub, order
+}
+
+// RandomWalk performs a simple uniform random walk of the given length
+// starting at start, using rng. The walk stops early at an isolated
+// vertex. The returned path includes start.
+func (g *Graph) RandomWalk(start, length int, rng *rand.Rand) []int {
+	g.check(start)
+	path := make([]int, 1, length+1)
+	path[0] = start
+	cur := start
+	for step := 0; step < length; step++ {
+		deg := len(g.adj[cur])
+		if deg == 0 {
+			break
+		}
+		// Sorted neighbor order keeps walks deterministic for a fixed
+		// rng (map iteration order is randomized by the runtime).
+		nbrs := g.Neighbors(cur)
+		cur = nbrs[rng.Intn(len(nbrs))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int {
+	out := make([]int, len(g.adj))
+	for v := range g.adj {
+		out[v] = len(g.adj[v])
+	}
+	return out
+}
+
+// CommonNeighbors returns the number of shared neighbors of u and v.
+func (g *Graph) CommonNeighbors(u, v int) int {
+	g.check(u)
+	g.check(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for x := range a {
+		if _, ok := b[x]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ShortestPathLen returns the hop distance between u and v via BFS, or -1
+// when disconnected. maxDepth bounds the search (0 = unbounded).
+func (g *Graph) ShortestPathLen(u, v, maxDepth int) int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0
+	}
+	dist := map[int]int{u: 0}
+	queue := []int{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := dist[cur]
+		if maxDepth > 0 && d >= maxDepth {
+			continue
+		}
+		for nb := range g.adj[cur] {
+			n := int(nb)
+			if _, seen := dist[n]; seen {
+				continue
+			}
+			if n == v {
+				return d + 1
+			}
+			dist[n] = d + 1
+			queue = append(queue, n)
+		}
+	}
+	return -1
+}
+
+// CountPaths counts simple paths of length exactly L (edges) between u
+// and v, capped at cap to bound work; used by the GHOST baseline's
+// path-based similarity. L must be ≥ 1 and small (≤ 4 in practice).
+func (g *Graph) CountPaths(u, v, length, cap int) int {
+	g.check(u)
+	g.check(v)
+	if length < 1 {
+		return 0
+	}
+	count := 0
+	visited := map[int]bool{u: true}
+	var dfs func(cur, remaining int)
+	dfs = func(cur, remaining int) {
+		if cap > 0 && count >= cap {
+			return
+		}
+		if remaining == 0 {
+			if cur == v {
+				count++
+			}
+			return
+		}
+		for nb := range g.adj[cur] {
+			n := int(nb)
+			if visited[n] {
+				continue
+			}
+			if n == v && remaining != 1 {
+				continue // v may only appear as the terminal vertex
+			}
+			visited[n] = true
+			dfs(n, remaining-1)
+			visited[n] = false
+		}
+	}
+	dfs(u, length)
+	if cap > 0 && count > cap {
+		count = cap
+	}
+	return count
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-12, "Φ(0)")
+	approx(t, NormalCDF(1.96), 0.9750021, 1e-6, "Φ(1.96)")
+	approx(t, NormalCDF(-1.96), 0.0249979, 1e-6, "Φ(-1.96)")
+	approx(t, NormalCDF(3), 0.9986501, 1e-6, "Φ(3)")
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 30 {
+			return true
+		}
+		return math.Abs(NormalCDF(x)+NormalCDF(-x)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		x := NormalQuantile(p)
+		approx(t, NormalCDF(x), p, 1e-9, "Φ(Φ⁻¹(p))")
+	}
+	if !math.IsNaN(NormalQuantile(0)) || !math.IsNaN(NormalQuantile(1)) {
+		t.Fatal("quantile at 0/1 should be NaN")
+	}
+}
+
+// TestEquation2TailProbability reproduces the paper's §IV-A worked
+// example: na=nb=500, N=5·10⁵ gives E(X)=0.5 and
+// Pr(X ≥ 3) = 1 − Φ((2.5 − 0.5)/sqrt(0.5)) ≈ 2.3389·10⁻³.
+func TestEquation2TailProbability(t *testing.T) {
+	got := CoOccurrenceTail(500, 500, 500000, 3)
+	approx(t, got, 2.3389e-3, 2e-5, "Pr(X≥3) (Eq. 2)")
+}
+
+func TestBinomialTailCLTAgainstExact(t *testing.T) {
+	// For moderate Np the CLT approximation should be within a small
+	// absolute error of the exact tail.
+	cases := []struct {
+		n int
+		p float64
+		x int
+	}{
+		{1000, 0.05, 60},
+		{1000, 0.05, 40},
+		{500, 0.2, 110},
+		{2000, 0.01, 25},
+	}
+	for _, c := range cases {
+		exact := BinomialTailExact(c.n, c.p, c.x)
+		clt := BinomialTailCLT(c.n, c.p, c.x)
+		if math.Abs(exact-clt) > 0.02 {
+			t.Errorf("n=%d p=%g x=%d: exact=%g clt=%g", c.n, c.p, c.x, exact, clt)
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if got := BinomialTailCLT(0, 0.5, 0); got != 1 {
+		t.Fatalf("Pr(X≥0) with n=0 = %g, want 1", got)
+	}
+	if got := BinomialTailCLT(10, 0, 1); got != 0 {
+		t.Fatalf("p=0 tail = %g, want 0", got)
+	}
+	if got := BinomialTailExact(10, 0.3, 0); got != 1 {
+		t.Fatalf("exact Pr(X≥0)=%g", got)
+	}
+	if got := BinomialTailExact(10, 0.3, 11); got != 0 {
+		t.Fatalf("exact Pr(X≥11)=%g", got)
+	}
+	if got := CoOccurrenceTail(5, 5, 0, 1); got != 0 {
+		t.Fatalf("empty corpus tail=%g", got)
+	}
+}
+
+func TestBinomialTailMonotoneInX(t *testing.T) {
+	prev := 1.1
+	for x := 0; x <= 30; x++ {
+		tail := BinomialTailCLT(1000, 0.01, x)
+		if tail > prev+1e-12 {
+			t.Fatalf("tail not monotone at x=%d: %g > %g", x, tail, prev)
+		}
+		prev = tail
+	}
+}
+
+func TestHistogramPowerLawFit(t *testing.T) {
+	// Construct an exact power law: count(v) = round(1000·v^-2).
+	h := &Histogram{Counts: map[int]int{}}
+	for v := 1; v <= 30; v++ {
+		c := int(math.Round(1000 * math.Pow(float64(v), -2)))
+		if c > 0 {
+			h.Counts[v] = c
+		}
+	}
+	slope, intercept, err := h.PowerLawFit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, slope, -2, 0.08, "power-law slope")
+	approx(t, intercept, 3, 0.1, "power-law intercept")
+}
+
+func TestHistogramIgnoresNonPositive(t *testing.T) {
+	h := NewHistogram([]int{0, -3, 1, 1, 2})
+	if h.Counts[1] != 2 || h.Counts[2] != 1 || len(h.Counts) != 2 {
+		t.Fatalf("histogram=%v", h.Counts)
+	}
+	xs, ys := h.Points()
+	if len(xs) != 2 || xs[0] != 1 || ys[0] != 2 {
+		t.Fatalf("points=%v %v", xs, ys)
+	}
+}
+
+func TestPowerLawFitDegenerate(t *testing.T) {
+	h := NewHistogram([]int{5, 5, 5})
+	if _, _, err := h.PowerLawFit(); err != ErrDegenerate {
+		t.Fatalf("err=%v, want ErrDegenerate", err)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x+1
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, slope, 2, 1e-12, "slope")
+	approx(t, intercept, 1, 1e-12, "intercept")
+
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single-point fit should fail")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("vertical line fit should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	approx(t, s.Mean, 2.5, 1e-12, "mean")
+	approx(t, s.Median, 2.5, 1e-12, "median")
+	approx(t, s.Min, 1, 0, "min")
+	approx(t, s.Max, 4, 0, "max")
+	approx(t, s.Variance, 1.25, 1e-12, "variance")
+	approx(t, s.SampleVariance, 5.0/3.0, 1e-12, "sample variance")
+	if s.N != 4 {
+		t.Fatalf("N=%d", s.N)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary")
+	}
+	single := Summarize([]float64{7})
+	approx(t, single.Median, 7, 0, "single median")
+	if single.SampleVariance != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	approx(t, Quantile(vals, 0), 1, 0, "q0")
+	approx(t, Quantile(vals, 1), 5, 0, "q1")
+	approx(t, Quantile(vals, 0.5), 3, 0, "q0.5")
+	approx(t, Quantile(vals, 0.25), 2, 1e-12, "q0.25")
+}
+
+// Property: the summary mean always lies between min and max.
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Median >= s.Min-1e-9 && s.Median <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

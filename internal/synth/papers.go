@@ -1,0 +1,300 @@
+package synth
+
+import (
+	"math"
+	"sort"
+
+	"iuad/internal/bib"
+)
+
+// buildAuthors creates the ground-truth authors: community membership,
+// heavy-tailed productivity, an active-year span, and an (ambiguous)
+// name.
+func (g *generator) buildAuthors() {
+	cfg := g.cfg
+	g.dataset = &Dataset{Config: cfg}
+	g.dataset.Authors = make([]Author, cfg.Authors)
+	g.members = make([][]int, cfg.Communities)
+	g.partnersOf = make([]map[int]int, cfg.Authors)
+	g.partnerOrder = make([][]int, cfg.Authors)
+
+	// Discrete Pareto productivity with the requested mean: we draw
+	// u^(-1/alpha) with alpha tuned so that the truncated mean is close
+	// to MeanPapersPerAuthor. alpha≈1.6 gives a visibly heavy tail.
+	const alpha = 1.6
+	scale := cfg.MeanPapersPerAuthor * (alpha - 1) / alpha
+	if scale < 1 {
+		scale = 1
+	}
+	yearSpan := cfg.YearMax - cfg.YearMin
+	if yearSpan < 1 {
+		yearSpan = 1
+	}
+	for i := range g.dataset.Authors {
+		u := g.rng.Float64()
+		prod := int(math.Ceil(scale * math.Pow(1-u, -1/alpha)))
+		if prod > cfg.MaxPapersPerAuthor {
+			prod = cfg.MaxPapersPerAuthor
+		}
+		if prod < 1 {
+			prod = 1
+		}
+		start := cfg.YearMin + g.rng.Intn(yearSpan)
+		span := 1 + g.rng.Intn(2*cfg.CareerYears)
+		end := start + span
+		if end > cfg.YearMax {
+			end = cfg.YearMax
+		}
+		g.dataset.Authors[i] = Author{
+			ID:           bib.AuthorID(i),
+			Name:         g.sampleName(),
+			Community:    g.rng.Intn(cfg.Communities),
+			Productivity: prod,
+			ActiveFrom:   start,
+			ActiveTo:     end,
+		}
+		g.partnersOf[i] = make(map[int]int, 4)
+	}
+	g.spreadHomonyms()
+	for i := range g.dataset.Authors {
+		comm := g.dataset.Authors[i].Community
+		g.members[comm] = append(g.members[comm], i)
+	}
+}
+
+// spreadHomonyms re-rolls communities so that authors sharing a name
+// mostly sit in different communities. Two same-name authors inside one
+// narrow community exist in DBLP but are rare relative to the name space
+// (72k names); in a small synthetic world independent community
+// assignment would make them the common case and distort every
+// experiment. Unresolvable collisions (more same-name authors than
+// communities, or unlucky rerolls) are kept — those are the genuinely
+// hard cases.
+func (g *generator) spreadHomonyms() {
+	byName := map[string][]int{}
+	for i := range g.dataset.Authors {
+		a := &g.dataset.Authors[i]
+		byName[a.Name] = append(byName[a.Name], i)
+	}
+	names := make([]string, 0, len(byName))
+	for n, ids := range byName {
+		if len(ids) > 1 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names) // deterministic iteration
+	for _, n := range names {
+		used := map[int]struct{}{}
+		for _, id := range byName[n] {
+			a := &g.dataset.Authors[id]
+			for try := 0; try < 8; try++ {
+				if _, taken := used[a.Community]; !taken {
+					break
+				}
+				a.Community = g.rng.Intn(g.cfg.Communities)
+			}
+			used[a.Community] = struct{}{}
+		}
+	}
+}
+
+// writePapers emits every paper. Each author leads Productivity papers;
+// co-author slots are filled preferentially from previous partners
+// (probability RepeatCollabBias), otherwise from the community (or, with
+// CrossCommunityRate, from anywhere), which implements the "rich get
+// richer" collaboration dynamics of scale-free networks (§IV-A).
+func (g *generator) writePapers() {
+	cfg := g.cfg
+	corpus := bib.NewCorpus(cfg.Authors * int(cfg.MeanPapersPerAuthor))
+	g.dataset.Corpus = corpus
+
+	// Emission order is shuffled by year so Subset() prefixes look like
+	// "the database as of year Y", matching the data-scale experiments.
+	type lead struct{ author, seq int }
+	var leads []lead
+	for i := range g.dataset.Authors {
+		for s := 0; s < g.dataset.Authors[i].Productivity; s++ {
+			leads = append(leads, lead{i, s})
+		}
+	}
+	g.rng.Shuffle(len(leads), func(i, j int) { leads[i], leads[j] = leads[j], leads[i] })
+
+	papers := make([]bib.Paper, 0, len(leads))
+	for _, l := range leads {
+		papers = append(papers, g.onePaper(l.author))
+	}
+	sort.SliceStable(papers, func(i, j int) bool { return papers[i].Year < papers[j].Year })
+	for i := range papers {
+		corpus.MustAdd(papers[i])
+	}
+}
+
+// onePaper generates a single paper led by author `lead`.
+func (g *generator) onePaper(lead int) bib.Paper {
+	cfg := g.cfg
+	a := &g.dataset.Authors[lead]
+
+	team := []int{lead}
+	nameUsed := map[string]struct{}{a.Name: {}}
+	if g.rng.Float64() >= cfg.SoloPaperRate {
+		// Geometric-ish team size in [2, MaxCoauthors].
+		size := 2
+		for size < cfg.MaxCoauthors && g.rng.Float64() < 0.35 {
+			size++
+		}
+		for len(team) < size {
+			partner := g.pickPartner(lead)
+			if partner < 0 {
+				break
+			}
+			p := &g.dataset.Authors[partner]
+			if _, dup := nameUsed[p.Name]; dup {
+				break // a paper cannot list the same name twice
+			}
+			already := false
+			for _, t := range team {
+				if t == partner {
+					already = true
+					break
+				}
+			}
+			if already {
+				break
+			}
+			nameUsed[p.Name] = struct{}{}
+			team = append(team, partner)
+		}
+	}
+	// Reinforce pair weights so future papers repeat these partners. The
+	// insertion-ordered partnerOrder slices keep weighted sampling
+	// deterministic (map iteration order is randomized by the runtime).
+	for i := 0; i < len(team); i++ {
+		for j := i + 1; j < len(team); j++ {
+			u, v := team[i], team[j]
+			if _, known := g.partnersOf[u][v]; !known {
+				g.partnerOrder[u] = append(g.partnerOrder[u], v)
+			}
+			if _, known := g.partnersOf[v][u]; !known {
+				g.partnerOrder[v] = append(g.partnerOrder[v], u)
+			}
+			g.partnersOf[u][v]++
+			g.partnersOf[v][u]++
+		}
+	}
+
+	p := bib.Paper{
+		Title: g.titleFor(a.Community),
+		Venue: g.venueFor(a.Community),
+		Year:  g.yearFor(team),
+	}
+	for _, t := range team {
+		p.Authors = append(p.Authors, g.dataset.Authors[t].Name)
+		p.Truth = append(p.Truth, bib.AuthorID(t))
+	}
+	return p
+}
+
+// pickPartner chooses a co-author for lead: an existing partner with
+// probability RepeatCollabBias (weighted by past co-publications),
+// otherwise a fresh member of the lead's community (or any community
+// with probability CrossCommunityRate). Returns -1 when no candidate
+// exists.
+func (g *generator) pickPartner(lead int) int {
+	order := g.partnerOrder[lead]
+	if len(order) > 0 && g.rng.Float64() < g.cfg.RepeatCollabBias {
+		partners := g.partnersOf[lead]
+		total := 0
+		for _, p := range order {
+			total += partners[p]
+		}
+		r := g.rng.Intn(total)
+		for _, p := range order {
+			r -= partners[p]
+			if r < 0 {
+				return p
+			}
+		}
+	}
+	comm := g.dataset.Authors[lead].Community
+	if g.rng.Float64() < g.cfg.CrossCommunityRate {
+		comm = g.rng.Intn(g.cfg.Communities)
+	}
+	pool := g.members[comm]
+	if len(pool) <= 1 {
+		return -1
+	}
+	for tries := 0; tries < 8; tries++ {
+		cand := pool[g.rng.Intn(len(pool))]
+		if cand != lead {
+			return cand
+		}
+	}
+	return -1
+}
+
+// titleFor samples 4-9 topic words (plus occasional global noise words).
+func (g *generator) titleFor(comm int) string {
+	n := 4 + g.rng.Intn(6)
+	words := make([]string, 0, n)
+	topic := g.topicWords[comm]
+	for i := 0; i < n; i++ {
+		if g.rng.Float64() < 0.15 {
+			words = append(words, g.words[g.rng.Intn(len(g.words))])
+		} else {
+			words = append(words, g.words[topic[g.rng.Intn(len(topic))]])
+		}
+	}
+	t := title(words[0])
+	for _, w := range words[1:] {
+		t += " " + w
+	}
+	return t
+}
+
+// venueFor samples a venue: with probability GlobalVenueRate one of the
+// big cross-community venues, otherwise the community's list with a
+// Zipf-like head bias — the first community venue is the
+// "representative community" venue of §V-B3 and receives roughly half
+// the community mass.
+func (g *generator) venueFor(comm int) string {
+	if len(g.globalVenues) > 0 && g.rng.Float64() < g.cfg.GlobalVenueRate {
+		return g.globalVenues[g.rng.Intn(len(g.globalVenues))]
+	}
+	venues := g.venues[comm]
+	r := g.rng.Float64()
+	cum := 0.0
+	weightTotal := 0.0
+	for i := range venues {
+		weightTotal += 1 / float64(i+1)
+	}
+	for i, v := range venues {
+		cum += (1 / float64(i+1)) / weightTotal
+		if r < cum {
+			return v
+		}
+	}
+	return venues[len(venues)-1]
+}
+
+// yearFor samples a year in the overlap of the team's active spans
+// (falling back to the lead's span when the overlap is empty).
+func (g *generator) yearFor(team []int) int {
+	lo, hi := g.cfg.YearMin, g.cfg.YearMax
+	for _, t := range team {
+		a := &g.dataset.Authors[t]
+		if a.ActiveFrom > lo {
+			lo = a.ActiveFrom
+		}
+		if a.ActiveTo < hi {
+			hi = a.ActiveTo
+		}
+	}
+	if lo > hi {
+		a := &g.dataset.Authors[team[0]]
+		lo, hi = a.ActiveFrom, a.ActiveTo
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}

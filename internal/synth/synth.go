@@ -1,0 +1,352 @@
+// Package synth generates DBLP-like bibliographic corpora with ground
+// truth. It substitutes for the paper's 641k-paper DBLP snapshot and its
+// DAminer-labeled test intersection (§VI-A1), neither of which is
+// available offline.
+//
+// The generator is built so that the statistical properties IUAD's key
+// observation (§IV-A) depends on hold by construction:
+//
+//   - Author productivity is heavy-tailed (discrete Pareto), so the
+//     papers-per-name histogram is power-law shaped (Fig. 3a).
+//   - Collaboration is "rich get richer": each new paper's co-authors are
+//     drawn preferentially from the lead author's previous partners, so
+//     co-author pair frequencies are power-law shaped (Fig. 3b) and
+//     repeated collaboration concentrates inside true author pairs.
+//   - Authors belong to research communities that determine their venue
+//     habits and title vocabulary, which is what the similarity functions
+//     γ³..γ⁶ exploit.
+//   - Name ambiguity is injected deliberately: a HomonymRate fraction of
+//     authors share names carried by 2..HomonymMaxAuthors distinct
+//     authors (the evaluation test set, like the "Wei Wang" example of
+//     the paper's introduction); everyone else draws uniformly from a
+//     surname×given-name space where collisions are rare.
+//
+// Generation is fully deterministic for a given Config (including Seed).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iuad/internal/bib"
+)
+
+// Config parameterizes corpus generation. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	Seed int64
+
+	// Authors is the number of distinct ground-truth authors.
+	Authors int
+	// Communities is the number of research communities.
+	Communities int
+	// VenuesPerCommunity is how many venues each community publishes in.
+	VenuesPerCommunity int
+	// TopicWordsPerCommunity sizes each community's title vocabulary.
+	TopicWordsPerCommunity int
+	// Vocabulary is the size of the global word pool.
+	Vocabulary int
+
+	// MeanPapersPerAuthor controls the Pareto productivity distribution.
+	MeanPapersPerAuthor float64
+	// MaxPapersPerAuthor truncates productivity.
+	MaxPapersPerAuthor int
+
+	// MaxCoauthors bounds team size (lead + co-authors ≤ this).
+	MaxCoauthors int
+	// RepeatCollabBias in [0,1): probability mass that a co-author slot
+	// is filled by an existing partner rather than a fresh community
+	// member. Higher values sharpen the pair-frequency power law.
+	RepeatCollabBias float64
+	// SoloPaperRate is the probability that a paper has a single author.
+	SoloPaperRate float64
+
+	// HomonymRate is the fraction of authors that deliberately share a
+	// name with other authors (the corpus's controlled ambiguity — the
+	// evaluation test set). Each shared name is assigned to between 2
+	// and HomonymMaxAuthors distinct authors, mirroring the 2..17
+	// authors-per-name spread of the paper's Table II test set.
+	HomonymRate       float64
+	HomonymMaxAuthors int
+
+	// YearMin/YearMax bound publication years. CareerYears is the mean
+	// active-span length of an author.
+	YearMin, YearMax int
+	CareerYears      int
+
+	// CrossCommunityRate is the probability that a co-author slot is
+	// filled from a different community (noise edges).
+	CrossCommunityRate float64
+
+	// GlobalVenues is the number of large venues shared by every
+	// community (the "VLDB/CoRR effect" of real DBLP: big venues span
+	// fields, so a venue match alone is weak evidence of identity).
+	// GlobalVenueRate is the fraction of papers published in them.
+	GlobalVenues    int
+	GlobalVenueRate float64
+}
+
+// DefaultConfig returns the parameterization used by the test suite and
+// the experiment drivers (a laptop-scale shrink of the paper's corpus).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		Authors:                3000,
+		Communities:            40,
+		VenuesPerCommunity:     5,
+		TopicWordsPerCommunity: 60,
+		Vocabulary:             1600,
+		MeanPapersPerAuthor:    4,
+		MaxPapersPerAuthor:     160,
+		MaxCoauthors:           6,
+		RepeatCollabBias:       0.6,
+		SoloPaperRate:          0.2,
+		HomonymRate:            0.12,
+		HomonymMaxAuthors:      12,
+		YearMin:                1995,
+		YearMax:                2020,
+		CareerYears:            12,
+		CrossCommunityRate:     0.05,
+		GlobalVenues:           8,
+		GlobalVenueRate:        0.3,
+	}
+}
+
+// Author is a ground-truth author.
+type Author struct {
+	ID        bib.AuthorID
+	Name      string
+	Community int
+	// Productivity is the number of papers this author leads.
+	Productivity int
+	// ActiveFrom/ActiveTo bound the publication years.
+	ActiveFrom, ActiveTo int
+}
+
+// Dataset bundles the generated corpus with its ground truth.
+type Dataset struct {
+	Corpus  *bib.Corpus
+	Authors []Author
+	Config  Config
+
+	byName map[string][]bib.AuthorID
+}
+
+// Generate builds a dataset from cfg. It panics on nonsensical configs
+// (≤0 authors or communities), since those are programming errors.
+func Generate(cfg Config) *Dataset {
+	if cfg.Authors <= 0 || cfg.Communities <= 0 {
+		panic(fmt.Sprintf("synth: invalid config: %d authors, %d communities",
+			cfg.Authors, cfg.Communities))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng}
+	g.buildVocabulary()
+	g.buildVenues()
+	g.buildNames()
+	g.buildAuthors()
+	g.writePapers()
+	g.dataset.Corpus.Freeze()
+	g.dataset.indexNames()
+	return g.dataset
+}
+
+// AuthorsByName returns the ground-truth author IDs sharing name.
+func (d *Dataset) AuthorsByName(name string) []bib.AuthorID {
+	return d.byName[name]
+}
+
+// AmbiguousNames returns names shared by at least minAuthors distinct
+// authors, sorted by descending author count then name. These form the
+// evaluation test set, mirroring the paper's Table II construction.
+func (d *Dataset) AmbiguousNames(minAuthors int) []string {
+	var out []string
+	for name, ids := range d.byName {
+		if len(ids) >= minAuthors {
+			out = append(out, name)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := len(d.byName[out[i]]), len(d.byName[out[j]])
+		if ni != nj {
+			return ni > nj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func (d *Dataset) indexNames() {
+	d.byName = make(map[string][]bib.AuthorID)
+	for _, a := range d.Authors {
+		d.byName[a.Name] = append(d.byName[a.Name], a.ID)
+	}
+}
+
+// generator holds intermediate state.
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	dataset *Dataset
+
+	words        []string
+	topicWords   [][]int // community -> word indexes
+	venues       [][]string
+	globalVenues []string
+	homonyms     []string
+	sampleName   func() string
+	partnersOf   []map[int]int // author -> partner -> co-pub count
+	partnerOrder [][]int       // author -> partners in first-seen order
+	members      [][]int       // community -> author ids
+}
+
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"ga", "ge", "gi", "go", "gu", "ka", "ke", "ki", "ko", "ku",
+	"la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu",
+	"na", "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru",
+	"sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+	"va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu",
+}
+
+func (g *generator) syllableWord(n int) string {
+	w := ""
+	for i := 0; i < n; i++ {
+		w += syllables[g.rng.Intn(len(syllables))]
+	}
+	return w
+}
+
+func (g *generator) buildVocabulary() {
+	seen := map[string]struct{}{}
+	g.words = make([]string, 0, g.cfg.Vocabulary)
+	for len(g.words) < g.cfg.Vocabulary {
+		w := g.syllableWord(2 + g.rng.Intn(2))
+		if _, dup := seen[w]; dup || bib.IsStopWord(w) {
+			continue
+		}
+		seen[w] = struct{}{}
+		g.words = append(g.words, w)
+	}
+	// Each community owns a biased subset of the vocabulary.
+	g.topicWords = make([][]int, g.cfg.Communities)
+	for c := range g.topicWords {
+		perm := g.rng.Perm(len(g.words))
+		n := g.cfg.TopicWordsPerCommunity
+		if n > len(perm) {
+			n = len(perm)
+		}
+		g.topicWords[c] = append([]int(nil), perm[:n]...)
+	}
+}
+
+func (g *generator) buildVenues() {
+	g.venues = make([][]string, g.cfg.Communities)
+	seen := map[string]struct{}{}
+	for c := range g.venues {
+		for v := 0; v < g.cfg.VenuesPerCommunity; v++ {
+			for {
+				name := fmt.Sprintf("%s-%02d", acronym(g.rng), c)
+				if _, dup := seen[name]; !dup {
+					seen[name] = struct{}{}
+					g.venues[c] = append(g.venues[c], name)
+					break
+				}
+			}
+		}
+	}
+	for v := 0; v < g.cfg.GlobalVenues; v++ {
+		for {
+			name := "G-" + acronym(g.rng)
+			if _, dup := seen[name]; !dup {
+				seen[name] = struct{}{}
+				g.globalVenues = append(g.globalVenues, name)
+				break
+			}
+		}
+	}
+}
+
+func acronym(rng *rand.Rand) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := 3 + rng.Intn(2)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// buildNames pre-assigns every author a name. A HomonymRate fraction of
+// authors share deliberately ambiguous names, each carried by 2..
+// HomonymMaxAuthors distinct authors (the controlled test-set ambiguity);
+// the rest draw uniformly from the surname×given-name product, where
+// collisions are possible but rare — matching the DBLP regime in which
+// most names are unique and a tail of names is heavily shared.
+func (g *generator) buildNames() {
+	nSur, nGiven := 120, 340
+	surnames := make([]string, nSur)
+	givens := make([]string, nGiven)
+	seen := map[string]struct{}{}
+	fill := func(out []string) {
+		for i := range out {
+			for {
+				w := title(g.syllableWord(1 + g.rng.Intn(2)))
+				if _, dup := seen[w]; !dup {
+					seen[w] = struct{}{}
+					out[i] = w
+					break
+				}
+			}
+		}
+	}
+	fill(surnames)
+	fill(givens)
+	combinatorial := func() string {
+		return givens[g.rng.Intn(nGiven)] + " " + surnames[g.rng.Intn(nSur)]
+	}
+	maxShare := g.cfg.HomonymMaxAuthors
+	if maxShare < 2 {
+		maxShare = 2
+	}
+	total := g.cfg.Authors
+	homSlots := int(g.cfg.HomonymRate * float64(total))
+	names := make([]string, 0, total)
+	used := map[string]struct{}{}
+	for len(names) < homSlots {
+		var n string
+		for {
+			n = combinatorial()
+			if _, dup := used[n]; !dup {
+				break
+			}
+		}
+		used[n] = struct{}{}
+		g.homonyms = append(g.homonyms, n)
+		m := 2
+		for m < maxShare && g.rng.Float64() < 0.55 {
+			m++
+		}
+		for k := 0; k < m && len(names) < homSlots; k++ {
+			names = append(names, n)
+		}
+	}
+	for len(names) < total {
+		names = append(names, combinatorial())
+	}
+	g.rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	next := 0
+	g.sampleName = func() string {
+		n := names[next]
+		next++
+		return n
+	}
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}

@@ -1,0 +1,303 @@
+// Package textvec trains word embeddings from scratch with skip-gram
+// negative sampling (SGNS, Mikolov et al. 2013). IUAD's research-interest
+// similarity γ³ (§V-B2) measures the cosine of keyword-vector centroids;
+// the paper uses pretrained Word2Vec/GloVe/BERT vectors, which are not
+// available offline, so this package trains equivalent distributional
+// vectors on the corpus titles themselves (see DESIGN.md substitution 3).
+//
+// The trainer is deterministic for a fixed Config.Seed and uses no
+// dependencies beyond the standard library.
+package textvec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterizes SGNS training.
+type Config struct {
+	Dim       int     // embedding dimensionality
+	Window    int     // max context offset
+	Negatives int     // negative samples per positive pair
+	Epochs    int     // passes over the corpus
+	LR        float64 // initial learning rate (linearly decayed)
+	MinCount  int     // discard words rarer than this
+	Seed      int64
+}
+
+// DefaultConfig returns a laptop-scale parameterization adequate for
+// title corpora.
+func DefaultConfig() Config {
+	return Config{Dim: 48, Window: 4, Negatives: 5, Epochs: 5, LR: 0.025, MinCount: 2, Seed: 1}
+}
+
+// Embeddings holds trained word vectors.
+type Embeddings struct {
+	dim   int
+	index map[string]int
+	vecs  [][]float32
+	words []string
+	mean  []float64 // cached by Train; see Mean
+}
+
+// Dim returns the vector dimensionality.
+func (e *Embeddings) Dim() int { return e.dim }
+
+// Len returns the vocabulary size.
+func (e *Embeddings) Len() int { return len(e.words) }
+
+// Words returns the vocabulary, most frequent first.
+func (e *Embeddings) Words() []string { return e.words }
+
+// Vector returns the embedding of w and whether w is in vocabulary. The
+// returned slice is owned by the Embeddings; do not mutate.
+func (e *Embeddings) Vector(w string) ([]float32, bool) {
+	i, ok := e.index[w]
+	if !ok {
+		return nil, false
+	}
+	return e.vecs[i], true
+}
+
+// Centroid returns the mean vector of the in-vocabulary words, or nil if
+// none are known. This is W(v) of Eq. 6 — the center of all keyword
+// vectors of a vertex.
+func (e *Embeddings) Centroid(words []string) []float64 {
+	out := make([]float64, e.dim)
+	n := 0
+	for _, w := range words {
+		if v, ok := e.Vector(w); ok {
+			for i, x := range v {
+				out[i] += float64(x)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	return out
+}
+
+// Mean returns the average of all vocabulary vectors — the "common
+// component" of the embedding space. SGNS vectors share a large common
+// direction (negative-sampling geometry), which saturates raw centroid
+// cosines near 1; subtracting the mean restores discrimination.
+func (e *Embeddings) Mean() []float64 {
+	if e.mean == nil && len(e.vecs) > 0 {
+		out := make([]float64, e.dim)
+		for _, v := range e.vecs {
+			for i, x := range v {
+				out[i] += float64(x)
+			}
+		}
+		for i := range out {
+			out[i] /= float64(len(e.vecs))
+		}
+		e.mean = out
+	}
+	return e.mean
+}
+
+// CenteredCentroid returns Centroid(words) minus the vocabulary mean —
+// the similarity-ready representation of a word set.
+func (e *Embeddings) CenteredCentroid(words []string) []float64 {
+	c := e.Centroid(words)
+	if c == nil {
+		return nil
+	}
+	for i, m := range e.Mean() {
+		c[i] -= m
+	}
+	return c
+}
+
+// Cosine returns the cosine similarity of two dense vectors; 0 when
+// either is nil or zero.
+func Cosine(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Train builds SGNS embeddings from token sequences. Sentences shorter
+// than two in-vocabulary tokens contribute nothing.
+func Train(sentences [][]string, cfg Config) *Embeddings {
+	if cfg.Dim <= 0 || cfg.Epochs <= 0 {
+		panic("textvec: nonpositive Dim or Epochs")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2
+	}
+	if cfg.MinCount < 1 {
+		cfg.MinCount = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Vocabulary with frequency threshold, ordered by descending count
+	// then lexicographically (deterministic).
+	freq := map[string]int{}
+	for _, s := range sentences {
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	var kept []wc
+	for w, c := range freq {
+		if c >= cfg.MinCount {
+			kept = append(kept, wc{w, c})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].c != kept[j].c {
+			return kept[i].c > kept[j].c
+		}
+		return kept[i].w < kept[j].w
+	})
+	e := &Embeddings{
+		dim:   cfg.Dim,
+		index: make(map[string]int, len(kept)),
+	}
+	for i, k := range kept {
+		e.index[k.w] = i
+		e.words = append(e.words, k.w)
+	}
+	v := len(e.words)
+	if v == 0 {
+		e.vecs = nil
+		return e
+	}
+
+	// Input and output vector tables.
+	e.vecs = make([][]float32, v)
+	out := make([][]float32, v)
+	for i := 0; i < v; i++ {
+		e.vecs[i] = make([]float32, cfg.Dim)
+		out[i] = make([]float32, cfg.Dim)
+		for d := 0; d < cfg.Dim; d++ {
+			e.vecs[i][d] = (rng.Float32() - 0.5) / float32(cfg.Dim)
+		}
+	}
+
+	// Unigram^0.75 negative-sampling table (alias-free cumulative scan).
+	cum := make([]float64, v)
+	total := 0.0
+	for i, k := range kept {
+		total += math.Pow(float64(k.c), 0.75)
+		cum[i] = total
+	}
+	sampleNeg := func() int {
+		r := rng.Float64() * total
+		lo, hi := 0, v-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	// Encode sentences once.
+	enc := make([][]int32, 0, len(sentences))
+	tokens := 0
+	for _, s := range sentences {
+		row := make([]int32, 0, len(s))
+		for _, w := range s {
+			if id, ok := e.index[w]; ok {
+				row = append(row, int32(id))
+			}
+		}
+		if len(row) >= 2 {
+			enc = append(enc, row)
+			tokens += len(row)
+		}
+	}
+	if tokens == 0 {
+		return e
+	}
+
+	defer func() { e.Mean() }() // warm the cache while still single-threaded
+	steps := 0
+	totalSteps := cfg.Epochs * tokens
+	grad := make([]float32, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, row := range enc {
+			for pos, wid := range row {
+				steps++
+				lr := float32(cfg.LR * (1 - float64(steps)/float64(totalSteps+1)))
+				if lr < float32(cfg.LR)*0.01 {
+					lr = float32(cfg.LR) * 0.01
+				}
+				win := 1 + rng.Intn(cfg.Window)
+				for off := -win; off <= win; off++ {
+					cpos := pos + off
+					if off == 0 || cpos < 0 || cpos >= len(row) {
+						continue
+					}
+					ctx := int(row[cpos])
+					trainPair(e.vecs[wid], out[ctx], 1, lr, grad)
+					for n := 0; n < cfg.Negatives; n++ {
+						neg := sampleNeg()
+						if neg == ctx {
+							continue
+						}
+						trainPair(e.vecs[wid], out[neg], 0, lr, grad)
+					}
+					// Apply accumulated input-vector gradient.
+					vin := e.vecs[wid]
+					for d := range vin {
+						vin[d] += grad[d]
+						grad[d] = 0
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+// trainPair performs one SGD step on (input, output) with target label
+// (1 = observed context, 0 = negative sample), accumulating the input
+// gradient into grad and updating the output vector in place.
+func trainPair(vin, vout []float32, label float32, lr float32, grad []float32) {
+	var dot float32
+	for d := range vin {
+		dot += vin[d] * vout[d]
+	}
+	g := (label - sigmoid(dot)) * lr
+	for d := range vin {
+		grad[d] += g * vout[d]
+		vout[d] += g * vin[d]
+	}
+}
+
+func sigmoid(x float32) float32 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}

@@ -1,0 +1,134 @@
+package textvec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// topicCorpus builds sentences from two disjoint topics so that
+// within-topic words co-occur and cross-topic words never do.
+func topicCorpus(n int, seed int64) [][]string {
+	topicA := []string{"graph", "kernel", "vertex", "edge", "subgraph"}
+	topicB := []string{"query", "index", "join", "scan", "btree"}
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]string
+	for i := 0; i < n; i++ {
+		topic := topicA
+		if i%2 == 1 {
+			topic = topicB
+		}
+		var s []string
+		for j := 0; j < 6; j++ {
+			s = append(s, topic[rng.Intn(len(topic))])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 8
+	cfg.MinCount = 1
+	return cfg
+}
+
+func TestTrainSeparatesTopics(t *testing.T) {
+	e := Train(topicCorpus(400, 3), fastConfig())
+	centA := e.Centroid([]string{"graph", "kernel", "vertex"})
+	centB := e.Centroid([]string{"query", "index", "join"})
+	centA2 := e.Centroid([]string{"edge", "subgraph"})
+	within := Cosine(centA, centA2)
+	across := Cosine(centA, centB)
+	if within <= across {
+		t.Fatalf("within-topic cosine %.3f not above cross-topic %.3f", within, across)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	corpus := topicCorpus(100, 5)
+	e1 := Train(corpus, fastConfig())
+	e2 := Train(corpus, fastConfig())
+	v1, _ := e1.Vector("graph")
+	v2, _ := e2.Vector("graph")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("training is nondeterministic for a fixed seed")
+		}
+	}
+}
+
+func TestVocabularyFiltering(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MinCount = 2
+	e := Train([][]string{
+		{"common", "common", "rare"},
+		{"common", "other", "other"},
+	}, cfg)
+	if _, ok := e.Vector("rare"); ok {
+		t.Fatal("rare word kept despite MinCount=2")
+	}
+	if _, ok := e.Vector("common"); !ok {
+		t.Fatal("common word missing")
+	}
+	if e.Len() != 2 {
+		t.Fatalf("vocab size=%d, want 2", e.Len())
+	}
+	// Most frequent first.
+	if e.Words()[0] != "common" {
+		t.Fatalf("Words()[0]=%q", e.Words()[0])
+	}
+}
+
+func TestCentroidUnknownWords(t *testing.T) {
+	e := Train(topicCorpus(50, 1), fastConfig())
+	if got := e.Centroid([]string{"zzzz", "yyyy"}); got != nil {
+		t.Fatalf("centroid of OOV words=%v, want nil", got)
+	}
+	c := e.Centroid([]string{"graph", "zzzz"})
+	v, _ := e.Vector("graph")
+	for i := range c {
+		if math.Abs(c[i]-float64(v[i])) > 1e-9 {
+			t.Fatal("centroid with one known word should equal its vector")
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	c := []float64{2, 0}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("orthogonal cosine=%g", got)
+	}
+	if got := Cosine(a, c); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("parallel cosine=%g", got)
+	}
+	if got := Cosine(a, []float64{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("antiparallel cosine=%g", got)
+	}
+	if Cosine(nil, a) != 0 || Cosine(a, []float64{0, 0}) != 0 || Cosine(a, []float64{1}) != 0 {
+		t.Fatal("degenerate cosines should be 0")
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	e := Train(nil, fastConfig())
+	if e.Len() != 0 {
+		t.Fatalf("empty corpus vocab=%d", e.Len())
+	}
+	if got := e.Centroid([]string{"x"}); got != nil {
+		t.Fatal("centroid on empty embeddings should be nil")
+	}
+}
+
+func TestTrainPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dim=0 did not panic")
+		}
+	}()
+	Train(nil, Config{Dim: 0, Epochs: 1})
+}

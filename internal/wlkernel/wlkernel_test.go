@@ -1,0 +1,195 @@
+package wlkernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iuad/internal/graph"
+)
+
+// path returns a path graph v0-v1-...-v(n-1) with constant labels.
+func path(n int) (*graph.Graph, []uint64) {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	labels := make([]uint64, n)
+	for i := range labels {
+		labels[i] = 1
+	}
+	return g, labels
+}
+
+func TestFeaturesIterationZeroCountsLabels(t *testing.T) {
+	g := graph.New(3)
+	labels := []uint64{5, 5, 9}
+	f := Features(g, labels, 0)
+	if f[5] != 2 || f[9] != 1 || len(f) != 2 {
+		t.Fatalf("h=0 features=%v", f)
+	}
+}
+
+func TestIsomorphicGraphsHaveEqualFeatures(t *testing.T) {
+	// Two different vertex orderings of the same labeled triangle+tail.
+	build := func(perm []int) (*graph.Graph, []uint64) {
+		g := graph.New(4)
+		edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}}
+		for _, e := range edges {
+			g.AddEdge(perm[e[0]], perm[e[1]])
+		}
+		labels := make([]uint64, 4)
+		base := []uint64{7, 7, 7, 3}
+		for i, p := range perm {
+			labels[p] = base[i]
+		}
+		return g, labels
+	}
+	g1, l1 := build([]int{0, 1, 2, 3})
+	g2, l2 := build([]int{3, 1, 0, 2})
+	for h := 0; h <= 3; h++ {
+		f1 := Features(g1, l1, h)
+		f2 := Features(g2, l2, h)
+		if Dot(f1, f1) != Dot(f2, f2) || Dot(f1, f2) != Dot(f1, f1) {
+			t.Fatalf("h=%d: isomorphic graphs have different features", h)
+		}
+		if got := Normalized(f1, f2); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("h=%d: normalized kernel of isomorphic graphs = %g", h, got)
+		}
+	}
+}
+
+func TestWLDistinguishesNonIsomorphic(t *testing.T) {
+	// Path P4 vs star S3: same size, same degree sum, WL separates them
+	// after one iteration even with constant labels.
+	p, pl := path(4)
+	s := graph.New(4)
+	s.AddEdge(0, 1)
+	s.AddEdge(0, 2)
+	s.AddEdge(0, 3)
+	sl := []uint64{1, 1, 1, 1}
+	fp := Features(p, pl, 1)
+	fs := Features(s, sl, 1)
+	if Normalized(fp, fs) >= 1-1e-9 {
+		t.Fatal("WL failed to distinguish P4 from S3")
+	}
+}
+
+func TestNormalizedBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() map[uint64]int {
+			m := map[uint64]int{}
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				m[uint64(rng.Intn(8))] = 1 + rng.Intn(5)
+			}
+			return m
+		}
+		a, b := mk(), mk()
+		v := Normalized(a, b)
+		return v >= -1e-12 && v <= 1+1e-12 &&
+			math.Abs(Normalized(a, a)-1) < 1e-12 &&
+			Normalized(a, b) == Normalized(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedEmpty(t *testing.T) {
+	if got := Normalized(map[uint64]int{}, map[uint64]int{1: 1}); got != 0 {
+		t.Fatalf("empty feature map kernel=%g, want 0", got)
+	}
+}
+
+func TestSubgraphFeaturesUsesEgoRadius(t *testing.T) {
+	// Path of 5; center 2 with h=1 sees {1,2,3} only.
+	g, _ := path(5)
+	labelOf := func(v int) uint64 { return uint64(100 + v) }
+	f := SubgraphFeatures(g, 2, 1, labelOf)
+	// Iteration-0 labels present: neighbors 101 and 103, plus the
+	// reserved CenterLabel (the center's own label is neutralized; see
+	// CenterLabel doc) — but never 100, 102 or 104.
+	for _, leak := range []uint64{100, 102, 104} {
+		if _, ok := f[leak]; ok {
+			t.Fatalf("label %d leaked into radius-1 ego of vertex 2: %v", leak, f)
+		}
+	}
+	for _, want := range []uint64{101, 103, CenterLabel} {
+		if f[want] != 1 {
+			t.Fatalf("missing initial label %d: %v", want, f)
+		}
+	}
+}
+
+func TestSubgraphCenterNeutralized(t *testing.T) {
+	// Two centers with different own-labels but identical neighborhoods
+	// must produce identical feature maps: the center's name is the
+	// premise of a same-name comparison, not evidence.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(3, 5)
+	labels := map[int]uint64{0: 7, 3: 99, 1: 50, 4: 50, 2: 60, 5: 60}
+	labelOf := func(v int) uint64 { return labels[v] }
+	fa := SubgraphFeatures(g, 0, 2, labelOf)
+	fb := SubgraphFeatures(g, 3, 2, labelOf)
+	if Normalized(fa, fb) != 1 {
+		t.Fatalf("center label influenced the kernel: %v vs %v", fa, fb)
+	}
+}
+
+func TestSameNeighborhoodsHighKernel(t *testing.T) {
+	// Two vertices with identically-labeled neighborhoods in disjoint
+	// components must reach kernel 1; a third with different co-author
+	// labels must score lower. This is the γ¹ use case: same co-author
+	// names => likely the same author.
+	g := graph.New(9)
+	// Component A: 0 linked to 1,2 (labels X, Y).
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	// Component B: 3 linked to 4,5 (labels X, Y).
+	g.AddEdge(3, 4)
+	g.AddEdge(3, 5)
+	// Component C: 6 linked to 7,8 (labels P, Q).
+	g.AddEdge(6, 7)
+	g.AddEdge(6, 8)
+	name := map[int]string{
+		0: "wei wang", 3: "wei wang", 6: "wei wang",
+		1: "x", 4: "x", 7: "p",
+		2: "y", 5: "y", 8: "q",
+	}
+	labelOf := func(v int) uint64 { return HashLabel(name[v]) }
+	fa := SubgraphFeatures(g, 0, 2, labelOf)
+	fb := SubgraphFeatures(g, 3, 2, labelOf)
+	fc := SubgraphFeatures(g, 6, 2, labelOf)
+	same := Normalized(fa, fb)
+	diff := Normalized(fa, fc)
+	if math.Abs(same-1) > 1e-12 {
+		t.Fatalf("identical neighborhoods kernel=%g, want 1", same)
+	}
+	if diff >= same {
+		t.Fatalf("different neighborhoods kernel=%g not below %g", diff, same)
+	}
+}
+
+func TestHashLabelStable(t *testing.T) {
+	if HashLabel("abc") != HashLabel("abc") {
+		t.Fatal("HashLabel not deterministic")
+	}
+	if HashLabel("abc") == HashLabel("abd") {
+		t.Fatal("suspicious HashLabel collision")
+	}
+}
+
+func TestFeaturesLabelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels did not panic")
+		}
+	}()
+	g := graph.New(2)
+	Features(g, []uint64{1}, 1)
+}

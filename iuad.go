@@ -1,0 +1,153 @@
+// Package iuad is the public API of this repository: an implementation of
+// IUAD — the Incremental and Unsupervised Author Disambiguation algorithm
+// of "On Disambiguating Authors: Collaboration Network Reconstruction in
+// a Bottom-up Manner" (ICDE 2021).
+//
+// IUAD resolves which papers belong to which real-world author when many
+// authors share a name. It works bottom-up: it first assumes every name
+// occurrence is a different person, then (stage 1) recovers only the
+// stable collaborative relations — co-author name pairs occurring at
+// least η times — into a high-precision Stable Collaboration Network, and
+// (stage 2) merges same-name vertices with a probabilistic generative
+// model over six similarity functions (network structure, research
+// interests, research communities) fitted by EM, yielding the Global
+// Collaboration Network. Newly published papers are assigned
+// incrementally with no retraining.
+//
+// # Quick start
+//
+//	corpus := iuad.NewCorpus(0)
+//	corpus.MustAdd(iuad.Paper{
+//		Title:   "Mining Frequent Patterns Without Candidate Generation",
+//		Venue:   "SIGMOD",
+//		Year:    2000,
+//		Authors: []string{"Jia Xu", "Lin Huang"},
+//	})
+//	// ... add the rest of the paper database ...
+//	corpus.Freeze()
+//
+//	pipeline, err := iuad.Disambiguate(corpus, iuad.DefaultConfig())
+//	if err != nil { ... }
+//	// Every (paper, author-slot) now maps to a vertex = one author:
+//	v := pipeline.GCN.ClusterOfSlot(iuad.Slot{Paper: 0, Index: 0})
+//
+//	// Stream a newly published paper (§V-E) — no retraining:
+//	assignments, err := pipeline.AddPaper(iuad.Paper{ ... })
+//
+// See the examples/ directory for runnable programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// reproduction results.
+package iuad
+
+import (
+	"io"
+
+	"iuad/internal/bib"
+	"iuad/internal/core"
+	"iuad/internal/synth"
+)
+
+// Paper is a bibliographic record: title, venue, year and the ordered
+// co-author name list. Truth labels are optional and only used for
+// evaluation.
+type Paper = bib.Paper
+
+// Corpus is an immutable paper database with derived indexes.
+type Corpus = bib.Corpus
+
+// PaperID identifies a paper within a corpus.
+type PaperID = bib.PaperID
+
+// AuthorID is a ground-truth author identity (evaluation corpora only).
+type AuthorID = bib.AuthorID
+
+// Slot identifies one author occurrence: the Index-th name of a paper.
+type Slot = core.Slot
+
+// Vertex is a conjectured author: a name plus its attributed papers.
+type Vertex = core.Vertex
+
+// Network is a collaboration network (SCN or GCN).
+type Network = core.Network
+
+// Config parameterizes the IUAD pipeline (η, δ, WL depth, sampling...).
+type Config = core.Config
+
+// Pipeline is a fitted disambiguator: the SCN, the GCN, the generative
+// model, and the incremental AddPaper entry point.
+type Pipeline = core.Pipeline
+
+// Assignment is the incremental decision for one author slot.
+type Assignment = core.Assignment
+
+// LabeledPair is curator ground truth for the semi-supervised extension
+// (Config.Labels): whether the occurrences of Name in papers A and B are
+// the same person. Same-author labels merge unconditionally; both kinds
+// anchor the generative model.
+type LabeledPair = core.LabeledPair
+
+// SyntheticConfig parameterizes the bundled DBLP-like corpus generator
+// (used when no real bibliography is at hand; see DESIGN.md).
+type SyntheticConfig = synth.Config
+
+// SyntheticDataset is a generated corpus plus its ground truth.
+type SyntheticDataset = synth.Dataset
+
+// Similarity-function indexes for Config.FeatureMask and Config.Families
+// (γ¹..γ⁶ of the paper's §V-B).
+const (
+	SimWLKernel     = core.SimWLKernel
+	SimCliques      = core.SimCliques
+	SimInterests    = core.SimInterests
+	SimTimeConsist  = core.SimTimeConsist
+	SimRepCommunity = core.SimRepCommunity
+	SimCommunity    = core.SimCommunity
+
+	// NumSimilarities is the length FeatureMask/Families must have.
+	NumSimilarities = core.NumSimilarities
+)
+
+// NewCorpus returns an empty corpus with a capacity hint.
+func NewCorpus(paperHint int) *Corpus { return bib.NewCorpus(paperHint) }
+
+// ReadCorpus loads a JSONL corpus (one paper object per line).
+func ReadCorpus(r io.Reader) (*Corpus, error) { return bib.ReadJSON(r) }
+
+// WriteCorpus streams a corpus as JSONL.
+func WriteCorpus(w io.Writer, c *Corpus) error { return bib.WriteJSON(w, c) }
+
+// LoadCorpusFile reads a JSONL corpus from disk.
+func LoadCorpusFile(path string) (*Corpus, error) { return bib.LoadFile(path) }
+
+// SaveCorpusFile writes a JSONL corpus to disk.
+func SaveCorpusFile(path string, c *Corpus) error { return bib.SaveFile(path, c) }
+
+// ParseDBLP streams a dblp.xml-format document into a corpus (maxPapers
+// 0 = unlimited). It tolerates the real dump's ISO-8859-1 encoding and
+// normalizes DBLP's numeric homonym suffixes away.
+func ParseDBLP(r io.Reader, maxPapers int) (*Corpus, error) {
+	c, _, err := bib.ParseDBLP(r, maxPapers)
+	return c, err
+}
+
+// DefaultConfig returns the paper-faithful parameterization (η=2, δ=0,
+// h=2, 10% training-pair sampling, vertex splitting on).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Disambiguate runs the full two-stage IUAD algorithm (Alg. 1) on a
+// frozen corpus.
+func Disambiguate(corpus *Corpus, cfg Config) (*Pipeline, error) {
+	return core.Run(corpus, cfg)
+}
+
+// BuildSCN runs only stage 1 (useful to inspect the high-precision
+// stable collaboration network on its own).
+func BuildSCN(corpus *Corpus, cfg Config) (*Network, error) {
+	return core.BuildSCN(corpus, cfg)
+}
+
+// DefaultSyntheticConfig parameterizes the bundled corpus generator.
+func DefaultSyntheticConfig() SyntheticConfig { return synth.DefaultConfig() }
+
+// GenerateSynthetic builds a labeled DBLP-like corpus for experiments.
+func GenerateSynthetic(cfg SyntheticConfig) *SyntheticDataset { return synth.Generate(cfg) }

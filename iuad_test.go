@@ -1,0 +1,94 @@
+package iuad_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iuad"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end the way a
+// downstream user would: build a corpus, disambiguate, inspect clusters,
+// stream one new paper.
+func TestFacadeRoundTrip(t *testing.T) {
+	cfg := iuad.DefaultSyntheticConfig()
+	cfg.Seed = 99
+	cfg.Authors = 300
+	cfg.Communities = 8
+	d := iuad.GenerateSynthetic(cfg)
+
+	pcfg := iuad.DefaultConfig()
+	pcfg.Embedding.Epochs = 2
+	pcfg.Embedding.Dim = 16
+	pcfg.SampleRate = 0.5
+	pl, err := iuad.Disambiguate(d.Corpus, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.SCN == nil || pl.GCN == nil || pl.Model == nil {
+		t.Fatal("pipeline missing stages")
+	}
+	if pl.GCN.VertexCount() > pl.SCN.VertexCount() {
+		t.Fatal("GCN has more vertices than SCN")
+	}
+	// Slot lookups work through the facade types.
+	if v := pl.GCN.ClusterOfSlot(iuad.Slot{Paper: 0, Index: 0}); v < 0 {
+		t.Fatal("slot 0/0 unassigned")
+	}
+	// Incremental entry point.
+	as, err := pl.AddPaper(iuad.Paper{
+		Title: "A Fresh Paper", Venue: "VLDB", Year: 2021,
+		Authors: []string{d.Corpus.Paper(0).Authors[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 {
+		t.Fatalf("assignments=%d", len(as))
+	}
+}
+
+func TestFacadeCorpusIO(t *testing.T) {
+	c := iuad.NewCorpus(0)
+	c.MustAdd(iuad.Paper{Title: "T", Venue: "V", Year: 2001, Authors: []string{"A B"}})
+	c.Freeze()
+	var buf bytes.Buffer
+	if err := iuad.WriteCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := iuad.ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 || back.Paper(0).Title != "T" {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFacadeParseDBLP(t *testing.T) {
+	const doc = `<dblp><article key="k"><author>Ann Lee</author>` +
+		`<title>X.</title><journal>J</journal><year>2000</year></article></dblp>`
+	c, err := iuad.ParseDBLP(strings.NewReader(doc), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+}
+
+func TestFacadeBuildSCNOnly(t *testing.T) {
+	c := iuad.NewCorpus(0)
+	for i := 0; i < 3; i++ {
+		c.MustAdd(iuad.Paper{Title: "T", Authors: []string{"A B", "C D"}})
+	}
+	c.Freeze()
+	scn, err := iuad.BuildSCN(c, iuad.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.EdgeCount() != 1 {
+		t.Fatalf("edges=%d, want 1", scn.EdgeCount())
+	}
+}
