@@ -10,9 +10,11 @@
 package iuad_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/experiments"
 	"iuad/internal/synth"
@@ -98,6 +100,73 @@ func BenchmarkTable5Scalability(b *testing.B) {
 		last := points[len(points)-1]
 		b.ReportMetric(last.Times["IUAD"].Seconds(), "IUAD-s/name")
 		b.ReportMetric(last.Times["GHOST"].Seconds(), "GHOST-s/name")
+	}
+}
+
+// BenchmarkTable5ScalabilityWorkers is the workers-parameterized variant
+// of the Table V scalability workload: the full IUAD engine (stage 1 +
+// stage 2) on the suite's largest corpus at Workers=1/2/4/8. Keyword
+// embeddings are trained once and shared — SGNS is inherently
+// sequential SGD, identical for every worker count, and not part of the
+// name-blocked engine being scaled. The Workers knob guarantees
+// bit-identical output at every setting, so the sub-benchmarks differ
+// in time only.
+func BenchmarkTable5ScalabilityWorkers(b *testing.B) {
+	s := benchSuite(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := s.Opts.Core
+			cfg.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scn, err := core.BuildSCN(s.Corpus, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pl, err := core.BuildGCN(s.Corpus, scn, s.Emb, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pl.GCN.VertexCount()), "GCN-verts")
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalWorkers measures the §V-E streaming path at
+// Workers=1 vs GOMAXPROCS (per-candidate scoring fans out for ambiguous
+// names).
+func BenchmarkIncrementalWorkers(b *testing.B) {
+	s := benchSuite(b)
+	for _, w := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := s.Opts.Core
+			cfg.Workers = w
+			pl, err := core.Run(s.Corpus, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := s.TestNames[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.AddPaper(iuadBenchPaper(name, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func iuadBenchPaper(author string, i int) bib.Paper {
+	return bib.Paper{
+		Title:   fmt.Sprintf("incremental benchmark probe %d", i),
+		Venue:   "KDD",
+		Year:    2021,
+		Authors: []string{author},
 	}
 }
 

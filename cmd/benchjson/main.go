@@ -1,0 +1,153 @@
+// Command benchjson is the benchmark regression harness for the
+// parallel disambiguation engine: it times the Table V scalability
+// workload (stage 1 + stage 2 on a synthetic corpus, embeddings trained
+// once and shared) at several worker counts and emits machine-readable
+// JSON so future changes can track the perf trajectory.
+//
+// Usage:
+//
+//	benchjson [-scale quick] [-workers 1,2,4,8] [-reps 3] [-out BENCH_parallel.json]
+//
+// The emitted file records ns/op per worker count plus the speedup over
+// Workers=1, together with gomaxprocs/num_cpu — speedup is a property
+// of the hardware the harness ran on (a single-core container reports
+// ≈1.0 by construction; the engine's output is identical either way).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"iuad/internal/core"
+	"iuad/internal/experiments"
+)
+
+// Result is one (workers, time) measurement.
+type Result struct {
+	Workers         int     `json:"workers"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmark    string    `json:"benchmark"`
+	Scale        string    `json:"scale"`
+	CorpusPapers int       `json:"corpus_papers"`
+	TestNames    int       `json:"test_names"`
+	GoMaxProcs   int       `json:"gomaxprocs"`
+	NumCPU       int       `json:"num_cpu"`
+	Reps         int       `json:"reps"`
+	Results      []Result  `json:"results"`
+	GeneratedAt  time.Time `json:"generated_at"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		scale   = flag.String("scale", "quick", "corpus scale: default | quick")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts to time")
+		reps    = flag.Int("reps", 3, "repetitions per worker count (minimum time wins)")
+		out     = flag.String("out", "BENCH_parallel.json", "output JSON path")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, tok := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			log.Fatalf("bad -workers entry %q", tok)
+		}
+		counts = append(counts, w)
+	}
+	if len(counts) == 0 || counts[0] != 1 {
+		counts = append([]int{1}, counts...) // serial baseline always measured
+	}
+
+	var opts experiments.Options
+	switch *scale {
+	case "default":
+		opts = experiments.DefaultOptions()
+	case "quick":
+		opts = experiments.QuickOptions()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	start := time.Now()
+	s, err := experiments.NewSuite(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite: %d papers (built in %v, embeddings shared across runs)\n",
+		s.Corpus.Len(), time.Since(start).Round(time.Millisecond))
+
+	run := func(w int) time.Duration {
+		cfg := opts.Core
+		cfg.Workers = w
+		t0 := time.Now()
+		scn, err := core.BuildSCN(s.Corpus, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := core.BuildGCN(s.Corpus, scn, s.Emb, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	rep := Report{
+		Benchmark:    "Table5ScalabilityWorkers",
+		Scale:        *scale,
+		CorpusPapers: s.Corpus.Len(),
+		TestNames:    len(s.TestNames),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Reps:         *reps,
+		GeneratedAt:  time.Now().UTC(),
+	}
+	var serial time.Duration
+	for _, w := range counts {
+		best := time.Duration(0)
+		for r := 0; r < *reps; r++ {
+			d := run(w)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		if w == 1 {
+			serial = best
+		}
+		speedup := 0.0
+		if best > 0 && serial > 0 {
+			speedup = float64(serial) / float64(best)
+		}
+		rep.Results = append(rep.Results, Result{
+			Workers:         w,
+			NsPerOp:         best.Nanoseconds(),
+			SpeedupVsSerial: speedup,
+		})
+		fmt.Printf("workers=%d: %v (%.2fx vs serial)\n", w, best.Round(time.Millisecond), speedup)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -26,9 +26,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(runners, ",")+") or 'all'")
-		scale = flag.String("scale", "default", "corpus scale: default | quick")
-		seed  = flag.Int64("seed", 0, "override corpus seed (0 = config default)")
+		run     = flag.String("run", "all", "comma-separated experiment ids ("+strings.Join(runners, ",")+") or 'all'")
+		scale   = flag.String("scale", "default", "corpus scale: default | quick")
+		seed    = flag.Int64("seed", 0, "override corpus seed (0 = config default)")
+		workers = flag.Int("workers", 0, "IUAD worker pool size (0 = one per logical CPU; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,9 @@ func main() {
 	}
 	if *seed != 0 {
 		opts.Synth.Seed = *seed
+	}
+	if *workers != 0 {
+		opts.Core.Workers = *workers
 	}
 
 	if want["eq2"] {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	iuad -in corpus.jsonl [-eta 2] [-name "Wei Wang"] [-top 5]
+//	iuad -in corpus.jsonl [-eta 2] [-workers 0] [-name "Wei Wang"] [-top 5]
 package main
 
 import (
@@ -21,10 +21,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iuad: ")
 	var (
-		in   = flag.String("in", "", "input corpus (JSONL; see cmd/gendata)")
-		eta  = flag.Int("eta", 2, "η-SCR support threshold")
-		name = flag.String("name", "", "print clusters of this name only")
-		top  = flag.Int("top", 5, "without -name: print the top-N most fragmented names")
+		in      = flag.String("in", "", "input corpus (JSONL; see cmd/gendata)")
+		eta     = flag.Int("eta", 2, "η-SCR support threshold")
+		workers = flag.Int("workers", 0, "worker pool size (0 = one per logical CPU; output is identical for any value)")
+		name    = flag.String("name", "", "print clusters of this name only")
+		top     = flag.Int("top", 5, "without -name: print the top-N most fragmented names")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -37,6 +38,7 @@ func main() {
 	}
 	cfg := iuad.DefaultConfig()
 	cfg.Eta = *eta
+	cfg.Workers = *workers
 	pl, err := iuad.Disambiguate(corpus, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -70,6 +70,11 @@ func main() {
 	cfg := iuad.DefaultConfig()
 	cfg.SampleRate = 1     // small corpus: train on every candidate pair
 	cfg.SplitMinPapers = 4 // small corpus: 4-paper vertices can anchor the model
+	// Workers bounds the pipeline's worker pool (the default is one per
+	// logical CPU). The result is guaranteed to be bit-identical for
+	// every value — same-name blocks are processed in parallel but
+	// reduced in a stable order — so this knob only changes wall time.
+	cfg.Workers = 4
 	// Word embeddings need thousands of titles to be meaningful; on a
 	// 45-paper library the research-interest cosine (γ³) is noise, so
 	// disable it and let venues, time and structure carry the decision.

@@ -1,0 +1,3 @@
+module iuad
+
+go 1.21

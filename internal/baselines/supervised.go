@@ -42,6 +42,9 @@ type Supervised struct {
 	algo Algo
 	clf  ensemble.Classifier
 	ex   *features.Extractor
+	// Workers parallelizes the HAC distance-matrix fill over the
+	// precomputed probability matrix (≤1 = serial).
+	Workers int
 }
 
 // TrainingConfig controls supervised training-set assembly.
@@ -177,5 +180,5 @@ func (s *Supervised) Cluster(corpus *bib.Corpus, name string, papers []bib.Paper
 		}
 	}
 	dist := func(i, j int) float64 { return 1 - prob[i][j] }
-	return cluster.HAC(n, dist, cluster.AverageLinkage, 0.5)
+	return cluster.HAC(n, dist, cluster.AverageLinkage, 0.5, s.Workers)
 }

@@ -16,6 +16,9 @@ type ANON struct {
 	// Threshold is the HAC cosine-distance merge threshold.
 	Threshold float64
 	Walk      embed.Config
+	// Workers parallelizes the HAC distance-matrix fill (≤1 = serial;
+	// the embedding distance is read-only, so concurrent calls are safe).
+	Workers int
 }
 
 // NewANON returns the default parameterization.
@@ -41,7 +44,7 @@ func (a *ANON) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID) []
 	ego := buildEgoNetwork(corpus, name, papers)
 	emb := embed.DeepWalk(ego.g, a.Walk)
 	dist := func(i, j int) float64 { return emb.Distance(i, j) }
-	return cluster.HAC(n, dist, cluster.AverageLinkage, a.Threshold)
+	return cluster.HAC(n, dist, cluster.AverageLinkage, a.Threshold, a.Workers)
 }
 
 // NetE is the multi-relation network embedding baseline (Xu et al., CIKM
@@ -150,6 +153,8 @@ type Aminer struct {
 	Walk      embed.Config
 	// Global holds the corpus-wide keyword embeddings.
 	Global *textvec.Embeddings
+	// Workers parallelizes the HAC distance-matrix fill (≤1 = serial).
+	Workers int
 }
 
 // NewAminer returns the default parameterization. global may be nil, in
@@ -192,7 +197,7 @@ func (am *Aminer) Cluster(corpus *bib.Corpus, name string, papers []bib.PaperID)
 		}
 		return d
 	}
-	return cluster.HAC(n, dist, cluster.AverageLinkage, am.Threshold)
+	return cluster.HAC(n, dist, cluster.AverageLinkage, am.Threshold, am.Workers)
 }
 
 // GHOST is the path-based graph method (Fan et al., JDIQ 2011 [27]): the

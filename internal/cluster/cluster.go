@@ -18,11 +18,38 @@ package cluster
 import (
 	"math"
 	"sort"
+
+	"iuad/internal/sched"
 )
 
 // DistFunc returns the distance between items i and j; it must be
 // symmetric and non-negative.
 type DistFunc func(i, j int) float64
+
+// optWorkers resolves an optional trailing workers argument: absent or
+// ≤ 1 means serial.
+func optWorkers(workers []int) int {
+	if len(workers) == 0 || workers[0] <= 1 {
+		return 1
+	}
+	return workers[0]
+}
+
+// distanceMatrix fills the full n×n distance matrix, fanning rows out to
+// the pool when workers > 1. Each entry is written exactly once at a
+// fixed position, so the matrix is identical for every worker count.
+func distanceMatrix(n int, dist DistFunc, workers int) [][]float64 {
+	d := make([][]float64, n)
+	sched.ForEach(workers, n, func(i int) {
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				d[i][j] = dist(i, j)
+			}
+		}
+	})
+	return d
+}
 
 // Linkage selects the HAC merge criterion.
 type Linkage int
@@ -43,7 +70,13 @@ const (
 // The implementation is the O(n³) textbook algorithm over an explicit
 // distance matrix — ample for per-name candidate sets (tens to a few
 // hundred papers), which is how every caller in this repository uses it.
-func HAC(n int, dist DistFunc, linkage Linkage, threshold float64) []int {
+//
+// The optional workers argument parallelizes the O(n²) distance-matrix
+// fill (rows are independent; labels are unaffected by the worker
+// count). dist must then be safe for concurrent calls — true for the
+// precomputed-vector distances the baselines use. Omitted or ≤ 1 keeps
+// the fill serial.
+func HAC(n int, dist DistFunc, linkage Linkage, threshold float64, workers ...int) []int {
 	if n == 0 {
 		return nil
 	}
@@ -52,15 +85,7 @@ func HAC(n int, dist DistFunc, linkage Linkage, threshold float64) []int {
 	for i := range members {
 		members[i] = []int{i}
 	}
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-		for j := range d[i] {
-			if i != j {
-				d[i][j] = dist(i, j)
-			}
-		}
-	}
+	d := distanceMatrix(n, dist, optWorkers(workers))
 	active := make([]bool, n)
 	for i := range active {
 		active[i] = true
@@ -201,6 +226,10 @@ type HDBSCANConfig struct {
 	// CutRatio > 1: MST edges longer than CutRatio × median(edge length)
 	// are removed before component extraction. Defaults to 3.
 	CutRatio float64
+	// Workers parallelizes the O(n²) core-distance computation (≤ 1 =
+	// serial). dist must then be safe for concurrent calls. Labels are
+	// unaffected by the worker count.
+	Workers int
 }
 
 // HDBSCAN clusters by single linkage over the mutual-reachability
@@ -220,26 +249,36 @@ func HDBSCAN(n int, dist DistFunc, cfg HDBSCANConfig) []int {
 		cfg.CutRatio = 3
 	}
 	// Core distance: distance to the MinPts-th nearest other point.
+	// Rows are independent, so the scan fans out in contiguous chunks
+	// (one reused buffer per chunk — the serial path keeps the single
+	// buffer of old) when Workers > 1.
+	workers := cfg.Workers
+	if workers <= 1 {
+		workers = 1
+	}
 	core := make([]float64, n)
-	buf := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		buf = buf[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				buf = append(buf, dist(i, j))
+	chunks := sched.Chunks(workers, n)
+	sched.ForEach(workers, len(chunks), func(c int) {
+		buf := make([]float64, 0, n-1)
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			buf = buf[:0]
+			for j := 0; j < n; j++ {
+				if j != i {
+					buf = append(buf, dist(i, j))
+				}
+			}
+			sort.Float64s(buf)
+			k := cfg.MinPts - 1
+			if k >= len(buf) {
+				k = len(buf) - 1
+			}
+			if k < 0 {
+				core[i] = 0
+			} else {
+				core[i] = buf[k]
 			}
 		}
-		sort.Float64s(buf)
-		k := cfg.MinPts - 1
-		if k >= len(buf) {
-			k = len(buf) - 1
-		}
-		if k < 0 {
-			core[i] = 0
-		} else {
-			core[i] = buf[k]
-		}
-	}
+	})
 	mreach := func(i, j int) float64 {
 		return math.Max(dist(i, j), math.Max(core[i], core[j]))
 	}

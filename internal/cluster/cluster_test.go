@@ -218,3 +218,32 @@ func TestUnionFind(t *testing.T) {
 		t.Fatal("idempotent union corrupted state")
 	}
 }
+
+// TestHACParallelMatchesSerial checks that the parallel distance-matrix
+// fill leaves HAC labels untouched for every linkage.
+func TestHACParallelMatchesSerial(t *testing.T) {
+	for _, linkage := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		_, dist := blobs(6, 4, 3)
+		serial := HAC(24, dist, linkage, 3.0)
+		parallel := HAC(24, dist, linkage, 3.0, 8)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("linkage %d: labels diverge at %d: %v vs %v",
+					linkage, i, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestHDBSCANParallelMatchesSerial checks the pooled core-distance
+// computation against the serial one.
+func TestHDBSCANParallelMatchesSerial(t *testing.T) {
+	_, dist := blobs(8, 3, 4)
+	serial := HDBSCAN(24, dist, HDBSCANConfig{MinPts: 3, MinClusterSize: 3})
+	parallel := HDBSCAN(24, dist, HDBSCANConfig{MinPts: 3, MinClusterSize: 3, Workers: 8})
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("labels diverge at %d: %v vs %v", i, serial, parallel)
+		}
+	}
+}

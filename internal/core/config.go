@@ -23,8 +23,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"iuad/internal/emfit"
+	"iuad/internal/sched"
 	"iuad/internal/textvec"
 )
 
@@ -77,6 +79,18 @@ type Config struct {
 	// Eta is the η-SCR support threshold (§IV-B). The paper mines
 	// frequent 2-itemsets; η=2 is the minimum meaningful value.
 	Eta int
+	// Workers bounds the worker pool the pipeline fans name blocks (and
+	// other independent work items) out to: stage-1 edge counting,
+	// stage-2 profile/similarity computation and merge rounds, EM batch
+	// E-steps, and incremental candidate scoring. 0 or negative means
+	// one worker per logical CPU (runtime.GOMAXPROCS(0)); 1 runs the
+	// whole pipeline single-threaded.
+	//
+	// Determinism guarantee: blocks are processed in any order but
+	// results are reduced in stable block-key order, so the output —
+	// networks, fitted model, cluster assignments — is bit-identical
+	// for every worker count.
+	Workers int
 	// Delta is the decision threshold δ on the log-odds matching score
 	// (Alg. 1 line 14). It is an OFFSET relative to the self-calibrated
 	// operating point (see FalseMatchRate); 0 uses the calibrated
@@ -134,7 +148,8 @@ type Config struct {
 	Embedding textvec.Config
 	// Seed drives pair sampling and vertex splitting.
 	Seed int64
-	// EMOptions tunes the EM fit.
+	// EMOptions tunes the EM fit. Its Workers field is ignored: the
+	// pipeline always runs EM with this Config's Workers pool.
 	EMOptions emfit.Options
 }
 
@@ -143,6 +158,7 @@ func DefaultConfig() Config {
 	emb := textvec.DefaultConfig()
 	return Config{
 		Eta:             2,
+		Workers:         runtime.GOMAXPROCS(0),
 		Delta:           0,
 		FalseMatchRate:  0.01,
 		MergeRounds:     3,
@@ -176,6 +192,9 @@ func (c *Config) Validate() error {
 	}
 	return nil
 }
+
+// workers resolves Workers into an effective pool size (≤0 → GOMAXPROCS).
+func (c *Config) workers() int { return sched.Workers(c.Workers) }
 
 // enabledFeatures resolves the feature mask into index lists.
 func (c *Config) enabledFeatures() []int {

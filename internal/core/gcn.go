@@ -7,6 +7,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/emfit"
+	"iuad/internal/sched"
 	"iuad/internal/textvec"
 )
 
@@ -84,6 +85,14 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 		return nil, err
 	}
 	pl := &Pipeline{Corpus: corpus, Cfg: cfg, SCN: scn, Emb: emb}
+	if len(scn.Verts) == 0 {
+		// Empty corpus: there is nothing to merge and nothing to fit a
+		// model on. Return a working pipeline with no model; AddPaper
+		// then gives every slot a fresh vertex (no merge evidence).
+		pl.GCN = scn.contract(newUnionFind(0).find)
+		pl.sim = newSimilarityComputer(pl.GCN, pl, pl.Emb, &pl.Cfg)
+		return pl, nil
+	}
 	sim := newSimilarityComputer(scn, corpusSource{corpus}, emb, &cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -100,10 +109,7 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 
 	// Decision making (Alg. 1 lines 11-15): merge pairs with score ≥ δ,
 	// where δ = calibrated operating point + configured offset.
-	pl.scored = make([]ScoredPair, len(pairs))
-	for i, cp := range pairs {
-		pl.scored[i] = ScoredPair{A: cp.a, B: cp.b, Score: model.LogOdds(cp.gamma)}
-	}
+	pl.scored = scorePairs(model, pairs, cfg.workers())
 	// Curator same-author labels are decisions, not just evidence: they
 	// merge unconditionally (the semi-supervised extension).
 	pl.forcedMerges = pl.forcedMerges[:0]
@@ -140,10 +146,7 @@ const refinePenalty = 2.0
 func (pl *Pipeline) refineOnce(net *Network, threshold float64, rng *rand.Rand) *Network {
 	sim := newSimilarityComputer(net, corpusSource{pl.Corpus}, pl.Emb, &pl.Cfg)
 	pairs := collectCandidatePairs(net, sim, &pl.Cfg, rng)
-	scored := make([]ScoredPair, len(pairs))
-	for i, cp := range pairs {
-		scored[i] = ScoredPair{A: cp.a, B: cp.b, Score: pl.Model.LogOdds(cp.gamma)}
-	}
+	scored := scorePairs(pl.Model, pairs, pl.Cfg.workers())
 	uf := newUnionFind(len(net.Verts))
 	mergeScored(uf, scored, threshold, pl.Cfg.Merge)
 	out := net.contract(uf.find)
@@ -249,6 +252,12 @@ func mergeScored(uf *unionFind, scored []ScoredPair, delta float64, strategy Mer
 
 // collectCandidatePairs enumerates same-name vertex pairs (R of §V-A),
 // computes their similarity vectors, and applies the per-name cap.
+//
+// Name blocks are the unit of parallelism: pair enumeration (which
+// consumes the rng for the per-name cap) stays on the caller's
+// goroutine in sorted-name order, then the similarity vectors of each
+// block are computed by the worker pool and merged back in the same
+// stable name order — identical output for every worker count.
 func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, rng *rand.Rand) []candidatePair {
 	names := make([]string, 0, len(scn.ByName))
 	for name, ids := range scn.ByName {
@@ -258,17 +267,18 @@ func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, r
 	}
 	sort.Strings(names)
 	// Profile construction dominates stage-2 cost and is independent per
-	// vertex; warm the cache with a worker pool before the sequential
-	// pair loop.
+	// vertex; warm the cache with the worker pool so the parallel pair
+	// loop below only reads it.
 	var involved []int
 	for _, name := range names {
 		involved = append(involved, scn.ByName[name]...)
 	}
 	sim.precomputeProfiles(involved)
-	var out []candidatePair
+	blocks := make([][][2]int, 0, len(names))
+	total := 0
 	for _, name := range names {
 		ids := scn.ByName[name]
-		var namePairs [][2]int
+		namePairs := make([][2]int, 0, len(ids)*(len(ids)-1)/2)
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
 				namePairs = append(namePairs, [2]int{ids[i], ids[j]})
@@ -280,12 +290,33 @@ func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, r
 			})
 			namePairs = namePairs[:cfg.MaxPairsPerName]
 		}
-		for _, pr := range namePairs {
-			full := sim.Similarities(pr[0], pr[1])
-			out = append(out, candidatePair{a: pr[0], b: pr[1], gamma: cfg.gammaFor(full)})
+		blocks = append(blocks, namePairs)
+		total += len(namePairs)
+	}
+	scored := sched.Map(cfg.workers(), len(blocks), func(k int) []candidatePair {
+		pairs := blocks[k]
+		out := make([]candidatePair, len(pairs))
+		for i, pr := range pairs {
+			full := sim.similaritiesOfProfiles(sim.mustProfile(pr[0]), sim.mustProfile(pr[1]))
+			out[i] = candidatePair{a: pr[0], b: pr[1], gamma: cfg.gammaFor(full)}
 		}
+		return out
+	})
+	out := make([]candidatePair, 0, total)
+	for _, blk := range scored {
+		out = append(out, blk...)
 	}
 	return out
+}
+
+// scorePairs computes the log-odds matching score of every candidate
+// pair with the worker pool; results are positional, so the scored list
+// is independent of the worker count.
+func scorePairs(model *emfit.Model, pairs []candidatePair, workers int) []ScoredPair {
+	return sched.Map(workers, len(pairs), func(i int) ScoredPair {
+		cp := pairs[i]
+		return ScoredPair{A: cp.a, B: cp.b, Score: model.LogOdds(cp.gamma)}
+	})
 }
 
 // fitModel trains the generative model on a SampleRate fraction of the
@@ -322,13 +353,30 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 	// author by construction — exhibit realistic structural similarity
 	// (partial neighborhoods, partial venue/keyword profiles). Their
 	// similarity vectors anchor the matched component of the mixture.
+	//
+	// All rng draws (splitting, anchor sampling) happen on this
+	// goroutine in a fixed order; only the similarity vectors — which
+	// never touch the rng — are computed by the worker pool and reduced
+	// positionally, keeping the training matrix bit-identical for every
+	// worker count.
+	workers := cfg.workers()
 	synth := 0
 	if cfg.SplitMinPapers > 0 {
 		splitNet, matched := splitNetwork(sim.net, cfg, rng)
 		splitSim := newSimilarityComputer(splitNet, sim.src, sim.emb, cfg)
+		splitInvolved := make([]int, 0, 2*len(matched))
 		for _, pr := range matched {
-			full := splitSim.Similarities(pr[0], pr[1])
-			x = append(x, cfg.gammaFor(full))
+			splitInvolved = append(splitInvolved, pr[0], pr[1])
+		}
+		splitSim.precomputeProfiles(splitInvolved)
+		matchedGammas := sched.Map(workers, len(matched), func(k int) []float64 {
+			pr := matched[k]
+			full := splitSim.similaritiesOfProfiles(
+				splitSim.mustProfile(pr[0]), splitSim.mustProfile(pr[1]))
+			return cfg.gammaFor(full)
+		})
+		for _, g := range matchedGammas {
+			x = append(x, g)
 			init = append(init, 0.95)
 			clamped = append(clamped, true)
 			synth++
@@ -342,20 +390,18 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 		// (Implementation note in DESIGN.md; the paper only describes
 		// the matched-side split.)
 		verts := sim.net.Verts
+		var uniformPairs [][2]int
 		for k := 0; k < 2*synth && len(verts) >= 2; {
 			a := rng.Intn(len(verts))
 			b := rng.Intn(len(verts))
 			if a == b || verts[a].Name == verts[b].Name {
 				continue
 			}
-			full := sim.Similarities(a, b)
-			x = append(x, cfg.gammaFor(full))
-			init = append(init, 0.05)
-			clamped = append(clamped, true)
-			calibIdx = append(calibIdx, len(x)-1)
+			uniformPairs = append(uniformPairs, [2]int{a, b})
 			k++
 		}
 		venues, byVenue := venueIndex(sim)
+		var hardPairs [][2]int
 		for k, tries := 0, 0; k < 2*synth && tries < 40*synth && len(venues) > 0; tries++ {
 			ids := byVenue[venues[rng.Intn(len(venues))]]
 			a := ids[rng.Intn(len(ids))]
@@ -363,11 +409,30 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 			if a == b || verts[a].Name == verts[b].Name {
 				continue
 			}
-			full := sim.Similarities(a, b)
-			x = append(x, cfg.gammaFor(full))
+			hardPairs = append(hardPairs, [2]int{a, b})
+			k++
+		}
+		anchors := make([][2]int, 0, len(uniformPairs)+len(hardPairs))
+		anchors = append(anchors, uniformPairs...)
+		anchors = append(anchors, hardPairs...)
+		anchorInvolved := make([]int, 0, 2*len(anchors))
+		for _, pr := range anchors {
+			anchorInvolved = append(anchorInvolved, pr[0], pr[1])
+		}
+		sim.precomputeProfiles(anchorInvolved)
+		anchorGammas := sched.Map(workers, len(anchors), func(k int) []float64 {
+			pr := anchors[k]
+			full := sim.similaritiesOfProfiles(
+				sim.mustProfile(pr[0]), sim.mustProfile(pr[1]))
+			return cfg.gammaFor(full)
+		})
+		for i, g := range anchorGammas {
+			x = append(x, g)
 			init = append(init, 0.05)
 			clamped = append(clamped, true)
-			k++
+			if i < len(uniformPairs) {
+				calibIdx = append(calibIdx, len(x)-1)
+			}
 		}
 	}
 	// Curator labels join the fit as clamped observations.
@@ -385,7 +450,10 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 	if len(x) == 0 {
 		return nil, 0, fmt.Errorf("core: no training pairs (corpus too small for GCN stage)")
 	}
+	// EM concurrency always follows the pipeline's Workers knob (one
+	// knob, one pool size; see Config.EMOptions).
 	opts := cfg.EMOptions
+	opts.Workers = workers
 	if synth > 0 {
 		opts.InitResp = init
 		opts.Clamped = clamped

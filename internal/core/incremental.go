@@ -6,6 +6,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/graph"
+	"iuad/internal/sched"
 	"iuad/internal/wlkernel"
 )
 
@@ -32,6 +33,9 @@ type Assignment struct {
 //
 // The paper's ID is assigned by the pipeline and returned via the
 // assignments' Slot fields.
+//
+// A pipeline built from an empty corpus has no fitted model; it accepts
+// papers, but with no merge evidence every slot becomes a fresh vertex.
 func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 	if pl.GCN == nil {
 		return nil, fmt.Errorf("core: AddPaper before BuildGCN")
@@ -68,18 +72,35 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 }
 
 // assignSlot scores one author slot against the existing same-name
-// vertices.
+// vertices. For ambiguous names carrying many candidate vertices the
+// scoring fans out over the worker pool; the argmax reduction stays on
+// this goroutine in candidate order (strict >, first maximum wins), so
+// ties break identically for every worker count.
 func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, name string) (vertex int, score float64, created bool) {
 	candidates := pl.GCN.ByName[name]
 	bestScore := math.Inf(-1)
 	best := -1
-	if len(candidates) > 0 {
+	if len(candidates) > 0 && pl.Model != nil {
 		temp := pl.tempProfile(paper, idx)
-		for _, v := range candidates {
-			full := pl.sim.similaritiesOfProfiles(temp, pl.sim.profileOf(v))
-			s := pl.Model.LogOdds(pl.Cfg.gammaFor(full))
-			if s > bestScore {
-				bestScore, best = s, v
+		// Below this size the fan-out costs more than the scoring.
+		const minParallel = 8
+		var scores []float64
+		if w := pl.Cfg.workers(); w > 1 && len(candidates) >= minParallel {
+			pl.sim.precomputeProfiles(candidates)
+			scores = sched.Map(w, len(candidates), func(k int) float64 {
+				full := pl.sim.similaritiesOfProfiles(temp, pl.sim.mustProfile(candidates[k]))
+				return pl.Model.LogOdds(pl.Cfg.gammaFor(full))
+			})
+		} else {
+			scores = make([]float64, len(candidates))
+			for k, v := range candidates {
+				full := pl.sim.similaritiesOfProfiles(temp, pl.sim.profileOf(v))
+				scores[k] = pl.Model.LogOdds(pl.Cfg.gammaFor(full))
+			}
+		}
+		for k, v := range candidates {
+			if scores[k] > bestScore {
+				bestScore, best = scores[k], v
 			}
 		}
 	}

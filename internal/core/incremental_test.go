@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iuad/internal/bib"
+)
+
+// TestIncrementalBrandNewName streams a paper that mixes a known author
+// name with a name the corpus has never seen: the unseen name must get a
+// fresh vertex (there is nothing to score against), the known name must
+// resolve to a vertex carrying its name, and the recovered relation must
+// link the two assignments.
+func TestIncrementalBrandNewName(t *testing.T) {
+	d := testDataset(9)
+	pl, err := Run(d.Corpus, fastCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := d.Corpus.Paper(0).Authors[0]
+	as, err := pl.AddPaper(bib.Paper{
+		Title: "Mixing Old And New", Venue: "KDD", Year: 2021,
+		Authors: []string{known, "Qx Neverseen"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("assignments=%d", len(as))
+	}
+	if !as[1].Created {
+		t.Fatalf("brand-new name reused vertex %d", as[1].Vertex)
+	}
+	if !math.IsInf(as[1].Score, -1) {
+		t.Fatalf("brand-new name scored %v, want -Inf (no candidates)", as[1].Score)
+	}
+	if got := pl.GCN.Verts[as[0].Vertex].Name; got != known {
+		t.Fatalf("known slot resolved to vertex named %q, want %q", got, known)
+	}
+	if !pl.GCN.G.HasEdge(as[0].Vertex, as[1].Vertex) {
+		t.Fatal("recovered relation missing between the two slots")
+	}
+	if err := pl.GCN.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalTieBreak pins the tie-break of §V-E's argmax: when
+// several same-name candidate vertices have byte-identical profiles
+// (hence exactly equal scores), the first candidate in ByName order —
+// the lowest vertex ID — wins, for every worker count. The candidate set
+// is sized past the parallel-scoring threshold so both the serial and
+// the pooled paths are exercised.
+func TestIncrementalTieBreak(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		d := testDataset(9)
+		cfg := fastCoreConfig()
+		cfg.Workers = workers
+		pl, err := Run(d.Corpus, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Ten identical candidates: same name, same single paper, no
+		// edges — every similarity function sees the same evidence.
+		const tieName = "Zz Tiebreak"
+		ids := make([]int, 10)
+		for i := range ids {
+			v := pl.GCN.addVertex(tieName, true)
+			pl.GCN.Verts[v].Papers = []bib.PaperID{0}
+			ids[i] = v
+		}
+		// Force attachment regardless of the calibrated threshold: the
+		// test is about WHICH vertex wins, not whether one does.
+		pl.Cfg.Delta = -1e9
+		as, err := pl.AddPaper(bib.Paper{
+			Title: "Tie Breaking Probe", Venue: "KDD", Year: 2021,
+			Authors: []string{tieName},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if as[0].Created {
+			t.Fatalf("workers=%d: tie candidates ignored (Created)", workers)
+		}
+		if as[0].Vertex != ids[0] {
+			t.Fatalf("workers=%d: tie broken to vertex %d, want first candidate %d",
+				workers, as[0].Vertex, ids[0])
+		}
+	}
+}
+
+// TestIncrementalEmptyFrozenCorpus runs the pipeline on a frozen corpus
+// with zero papers: Run must succeed with a model-less pipeline, and
+// AddPaper must keep working — every slot becomes a fresh vertex (no
+// merge evidence exists), including repeat papers by the same names.
+func TestIncrementalEmptyFrozenCorpus(t *testing.T) {
+	c := bib.NewCorpus(0)
+	c.Freeze()
+	pl, err := Run(c, fastCoreConfig())
+	if err != nil {
+		t.Fatalf("Run on empty corpus: %v", err)
+	}
+	if pl.Model != nil {
+		t.Fatal("empty corpus fitted a model")
+	}
+	if pl.GCN.VertexCount() != 0 {
+		t.Fatalf("empty corpus GCN has %d vertices", pl.GCN.VertexCount())
+	}
+	first, err := pl.AddPaper(bib.Paper{
+		Title: "First Ever", Venue: "KDD", Year: 2021,
+		Authors: []string{"Ada One", "Bea Two"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range first {
+		if !a.Created {
+			t.Fatalf("slot %+v attached with no corpus", a.Slot)
+		}
+	}
+	if !pl.GCN.G.HasEdge(first[0].Vertex, first[1].Vertex) {
+		t.Fatal("recovered relation missing")
+	}
+	// With no fitted model there is no merge evidence: a second paper by
+	// the same pair also fragments (documented AddPaper behavior).
+	second, err := pl.AddPaper(bib.Paper{
+		Title: "Second Ever", Venue: "KDD", Year: 2022,
+		Authors: []string{"Ada One", "Bea Two"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range second {
+		if !a.Created {
+			t.Fatalf("model-less pipeline attached slot %d to vertex %d", i, a.Vertex)
+		}
+	}
+	if err := pl.GCN.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/fpgrowth"
+	"iuad/internal/sched"
 )
 
 // BuildSCN runs stage 1 (§IV): mine η-SCRs from the co-author lists and
@@ -31,17 +32,30 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 	}
 	scrs := fpgrowth.FrequentPairs(txs, cfg.Eta)
 
-	// Papers per stable pair, collected in one corpus scan.
-	pairPapers := make(map[fpgrowth.Pair][]bib.PaperID, len(scrs))
-	for i := 0; i < corpus.Len(); i++ {
-		p := corpus.Paper(bib.PaperID(i))
-		for x := 0; x < len(p.Authors); x++ {
-			for y := x + 1; y < len(p.Authors); y++ {
-				key := fpgrowth.MakePair(p.Authors[x], p.Authors[y])
-				if _, stable := scrs[key]; stable {
-					pairPapers[key] = append(pairPapers[key], p.ID)
+	// Papers per stable pair. The corpus scan is sharded over contiguous
+	// paper ranges (one counter map per worker); merging the shards in
+	// range order keeps every per-pair paper list in ascending paper
+	// order — exactly the serial scan's output.
+	shards := sched.MapChunks(cfg.workers(), corpus.Len(),
+		func(lo, hi int) map[fpgrowth.Pair][]bib.PaperID {
+			local := make(map[fpgrowth.Pair][]bib.PaperID)
+			for i := lo; i < hi; i++ {
+				p := corpus.Paper(bib.PaperID(i))
+				for x := 0; x < len(p.Authors); x++ {
+					for y := x + 1; y < len(p.Authors); y++ {
+						key := fpgrowth.MakePair(p.Authors[x], p.Authors[y])
+						if _, stable := scrs[key]; stable {
+							local[key] = append(local[key], p.ID)
+						}
+					}
 				}
 			}
+			return local
+		})
+	pairPapers := make(map[fpgrowth.Pair][]bib.PaperID, len(scrs))
+	for _, shard := range shards {
+		for key, ids := range shard {
+			pairPapers[key] = append(pairPapers[key], ids...)
 		}
 	}
 
@@ -87,27 +101,64 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 		n.addEdge(va, vb, pairPapers[pr])
 	}
 
-	// Slot assignment + slot-conflict merging.
+	// Slot assignment + slot-conflict merging. Finding the stable
+	// vertices that own each slot only reads the stable network built
+	// above (papers have unique author names, so an isolated vertex
+	// created for one slot can never own another), which makes the
+	// owner scan safe to fan out; vertex creation and merging stay on
+	// this goroutine, applied in paper order. Each shard emits a flat
+	// record stream — most slots have no stable owner, so this stays
+	// compact even at library scale — and shards concatenate in range
+	// order, i.e. exactly the serial (paper, slot, ByName) scan order.
+	type ownerRec struct {
+		paper, idx, owner int32
+	}
+	ownerShards := sched.MapChunks(cfg.workers(), corpus.Len(), func(lo, hi int) []ownerRec {
+		var recs []ownerRec
+		for i := lo; i < hi; i++ {
+			p := corpus.Paper(bib.PaperID(i))
+			for idx, name := range p.Authors {
+				for _, id := range n.ByName[name] {
+					if containsPaper(n.Verts[id].Papers, p.ID) {
+						recs = append(recs, ownerRec{int32(i), int32(idx), int32(id)})
+					}
+				}
+			}
+		}
+		return recs
+	})
 	uf := newUnionFind(len(n.Verts))
+	si, pos := 0, 0
+	peek := func() *ownerRec {
+		for si < len(ownerShards) {
+			if pos < len(ownerShards[si]) {
+				return &ownerShards[si][pos]
+			}
+			si, pos = si+1, 0
+		}
+		return nil
+	}
 	for i := 0; i < corpus.Len(); i++ {
 		p := corpus.Paper(bib.PaperID(i))
 		for idx, name := range p.Authors {
 			slot := Slot{Paper: p.ID, Index: idx}
-			var owners []int
-			for _, id := range n.ByName[name] {
-				if containsPaper(n.Verts[id].Papers, p.ID) {
-					owners = append(owners, id)
-				}
-			}
-			if len(owners) == 0 {
+			r := peek()
+			if r == nil || r.paper != int32(i) || r.idx != int32(idx) {
 				iso := n.addVertex(name, true)
 				n.Verts[iso].Papers = []bib.PaperID{p.ID}
 				n.SlotVertex[slot] = iso
 				continue
 			}
-			n.SlotVertex[slot] = owners[0]
-			for _, o := range owners[1:] {
-				uf.union(owners[0], o)
+			first := int(r.owner)
+			pos++
+			n.SlotVertex[slot] = first
+			for {
+				r = peek()
+				if r == nil || r.paper != int32(i) || r.idx != int32(idx) {
+					break
+				}
+				uf.union(first, int(r.owner))
+				pos++
 			}
 		}
 	}

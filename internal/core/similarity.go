@@ -2,11 +2,10 @@ package core
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"iuad/internal/bib"
+	"iuad/internal/sched"
 	"iuad/internal/textvec"
 	"iuad/internal/wlkernel"
 )
@@ -31,12 +30,17 @@ func (s corpusSource) VenueFrequency(v string) int         { return s.c.VenueFre
 // consume (§V-B).
 type profile struct {
 	paperCount int
-	// venues is the multiset H(v); topVenue its most frequent element
-	// (ties broken lexicographically for determinism).
-	venues   map[string]int
-	topVenue string
-	// wordYears maps each title keyword to the sorted years it was used.
+	// venues is the multiset H(v); venueList its sorted key list (the
+	// deterministic iteration order for float reductions — map order
+	// would make γ⁶ vary in the last ulp between calls); topVenue its
+	// most frequent element (ties broken lexicographically).
+	venues    map[string]int
+	venueList []string
+	topVenue  string
+	// wordYears maps each title keyword to the sorted years it was used;
+	// wordList is its sorted key list (deterministic γ⁴ sum order).
 	wordYears map[string][]int
+	wordList  []string
 	// centroid is W(v), the mean keyword vector (nil if no keyword is in
 	// vocabulary).
 	centroid []float64
@@ -95,9 +99,12 @@ func (sc *similarityComputer) buildVertexProfile(v int) *profile {
 	return p
 }
 
-// precomputeProfiles fills the cache for ids with a worker pool. Profile
-// construction is read-only; workers write into a positional result
-// slice, so the cache map is only touched by the caller's goroutine.
+// precomputeProfiles fills the cache for every id with the configured
+// worker pool. Profile construction is read-only; workers write into a
+// positional result slice, so the cache map is only touched by the
+// caller's goroutine. After it returns, parallel sections may read the
+// cached profiles for these ids without synchronization (see
+// mustProfile).
 func (sc *similarityComputer) precomputeProfiles(ids []int) {
 	var todo []int
 	seen := make(map[int]struct{}, len(ids))
@@ -110,30 +117,23 @@ func (sc *similarityComputer) precomputeProfiles(ids []int) {
 			todo = append(todo, id)
 		}
 	}
-	const minParallel = 64
-	if len(todo) < minParallel {
-		return // the lazy path is cheaper than the fan-out
-	}
-	results := make([]*profile, len(todo))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				results[k] = sc.buildVertexProfile(todo[k])
-			}
-		}()
-	}
-	for k := range todo {
-		work <- k
-	}
-	close(work)
-	wg.Wait()
+	results := sched.Map(sc.cfg.workers(), len(todo), func(k int) *profile {
+		return sc.buildVertexProfile(todo[k])
+	})
 	for k, id := range todo {
 		sc.cache[id] = results[k]
 	}
+}
+
+// mustProfile returns the profile of v without ever writing the cache,
+// so it is safe to call from concurrent workers. Callers are expected to
+// have warmed the cache with precomputeProfiles; a miss falls back to an
+// uncached (re)build rather than a racy insert.
+func (sc *similarityComputer) mustProfile(v int) *profile {
+	if p, ok := sc.cache[v]; ok {
+		return p
+	}
+	return sc.buildVertexProfile(v)
 }
 
 // buildProfile aggregates papers into venue/keyword/centroid state. It is
@@ -156,9 +156,17 @@ func (sc *similarityComputer) buildProfile(papers []bib.PaperID) *profile {
 			keywords = append(keywords, w)
 		}
 	}
-	for _, years := range p.wordYears {
+	p.wordList = make([]string, 0, len(p.wordYears))
+	for w, years := range p.wordYears {
 		sort.Ints(years)
+		p.wordList = append(p.wordList, w)
 	}
+	sort.Strings(p.wordList)
+	p.venueList = make([]string, 0, len(p.venues))
+	for v := range p.venues {
+		p.venueList = append(p.venueList, v)
+	}
+	sort.Strings(p.venueList)
 	best, bestCount := "", -1
 	for v, c := range p.venues {
 		if c > bestCount || (c == bestCount && v < best) {
@@ -262,13 +270,16 @@ func cliqueCoincidence(pi, pj *profile) float64 {
 // exponent would grow with the year gap, so the decay sign is restored
 // here.
 func (sc *similarityComputer) timeConsistency(pi, pj *profile) float64 {
-	small, large := pi.wordYears, pj.wordYears
-	if len(small) > len(large) {
+	small, large := pi, pj
+	if len(small.wordYears) > len(large.wordYears) {
 		small, large = large, small
 	}
+	// Iterate the smaller side's *sorted* word list: float additions are
+	// not associative, so the sum order must not depend on map order.
 	sum := 0.0
-	for w, yearsA := range small {
-		yearsB, ok := large[w]
+	for _, w := range small.wordList {
+		yearsA := small.wordYears[w]
+		yearsB, ok := large.wordYears[w]
 		if !ok {
 			continue
 		}
@@ -315,13 +326,15 @@ func representativeCommunity(pi, pj *profile) float64 {
 
 // communitySimilarity is γ⁶ (Eq. 9): Adamic/Adar over shared venues.
 func (sc *similarityComputer) communitySimilarity(pi, pj *profile) float64 {
-	small, large := pi.venues, pj.venues
-	if len(small) > len(large) {
+	small, large := pi, pj
+	if len(small.venues) > len(large.venues) {
 		small, large = large, small
 	}
+	// Sorted-venue iteration for a deterministic sum order (as in
+	// timeConsistency).
 	sum := 0.0
-	for h := range small {
-		if _, ok := large[h]; !ok {
+	for _, h := range small.venueList {
+		if _, ok := large.venues[h]; !ok {
 			continue
 		}
 		freq := sc.src.VenueFrequency(h)

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"iuad/internal/sched"
 )
 
 // Family selects the exponential-family distribution of one feature.
@@ -221,6 +223,15 @@ type Options struct {
 	// Tol is the relative log-likelihood improvement below which EM
 	// stops.
 	Tol float64
+	// Workers sizes the worker pool for the batch E-step (per-sample
+	// posterior responsibilities) and the M-step (per-feature component
+	// fits). The zero value runs single-threaded. The IUAD pipeline
+	// overwrites this field with its own Config.Workers, so when Fit is
+	// reached through core there is a single concurrency knob. The fit
+	// is bit-identical for every worker count: per-sample terms are
+	// computed positionally and the log-likelihood is reduced serially
+	// in sample order.
+	Workers int
 	// InitResp optionally seeds the initial responsibilities (length N,
 	// values in [0,1]). When nil, Fit seeds from the feature-sum
 	// quantile heuristic (top quartile of standardized feature sums is
@@ -291,29 +302,48 @@ func Fit(x [][]float64, specs []FeatureSpec, opts Options) (*Model, []float64, e
 		}
 	}
 	wU := make([]float64, n)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	// Per-sample E-step scratch: density and posterior are written
+	// positionally by the pool, then reduced serially in sample order so
+	// the log-likelihood sum (and hence convergence) is independent of
+	// the worker count.
+	dens := make([]float64, n)
+	post := make([]float64, n)
 
 	model := &Model{Specs: specs}
 	prevLL := math.Inf(-1)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		// M-step.
+		// M-step. The mixing weight needs a serial pass; the 2m
+		// component MLEs are independent and fan out per feature/side,
+		// each summing over samples in fixed order.
 		var sumResp float64
 		for j := range resp {
 			wU[j] = 1 - resp[j]
 			sumResp += resp[j]
 		}
 		model.P = clamp(sumResp/float64(n), mixFloor, 1-mixFloor)
-		model.matched = model.matched[:0]
-		model.unmatched = model.unmatched[:0]
-		for i := 0; i < m; i++ {
-			model.matched = append(model.matched, fitComponent(specs[i], cols[i], resp))
-			model.unmatched = append(model.unmatched, fitComponent(specs[i], cols[i], wU))
+		if cap(model.matched) < m {
+			model.matched = make([]component, m)
+			model.unmatched = make([]component, m)
 		}
+		model.matched = model.matched[:m]
+		model.unmatched = model.unmatched[:m]
+		sched.ForEach(workers, 2*m, func(k int) {
+			if k < m {
+				model.matched[k] = fitComponent(specs[k], cols[k], resp)
+			} else {
+				model.unmatched[k-m] = fitComponent(specs[k-m], cols[k-m], wU)
+			}
+		})
 
-		// E-step + log-likelihood.
-		ll := 0.0
+		// E-step + log-likelihood: the batch of per-sample posteriors is
+		// the hot loop — embarrassingly parallel over samples.
 		logP := math.Log(model.P)
 		logQ := math.Log(1 - model.P)
-		for j := 0; j < n; j++ {
+		sched.ForEach(workers, n, func(j int) {
 			lm, lu := logP, logQ
 			for i := 0; i < m; i++ {
 				lm += model.matched[i].logPDF(x[j][i])
@@ -321,12 +351,17 @@ func Fit(x [][]float64, specs []FeatureSpec, opts Options) (*Model, []float64, e
 			}
 			mx := math.Max(lm, lu)
 			den := mx + math.Log(math.Exp(lm-mx)+math.Exp(lu-mx))
+			dens[j] = den
+			post[j] = math.Exp(lm - den)
+		})
+		ll := 0.0
+		for j := 0; j < n; j++ {
 			if opts.Clamped != nil && opts.Clamped[j] {
 				resp[j] = opts.InitResp[j] // observed label, not latent
 			} else {
-				resp[j] = math.Exp(lm - den)
+				resp[j] = post[j]
 			}
-			ll += den
+			ll += dens[j]
 		}
 		model.LogLikelihood = ll
 		model.Iterations = iter

@@ -12,9 +12,11 @@ import (
 	"io"
 	"strings"
 
+	"iuad/internal/baselines"
 	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/eval"
+	"iuad/internal/sched"
 	"iuad/internal/synth"
 	"iuad/internal/textvec"
 )
@@ -134,6 +136,27 @@ func NewSuite(o Options) (*Suite, error) {
 	}
 	s.Emb = core.TrainEmbeddings(d.Corpus, o.Core.Embedding)
 	return s, nil
+}
+
+// Workers resolves the suite's worker-pool size with core's semantics
+// (≤0 = one per logical CPU), so baselines and IUAD share one knob —
+// the cluster backends treat ≤1 as serial, which would silently
+// diverge on the 0 default otherwise.
+func (s *Suite) Workers() int { return sched.Workers(s.Opts.Core.Workers) }
+
+// UnsupervisedBaselines constructs the four unsupervised comparison
+// methods with the suite's worker-pool setting threaded through (their
+// clustering backends parallelize the distance-matrix fills; labels are
+// identical for every worker count).
+func (s *Suite) UnsupervisedBaselines() []baselines.Disambiguator {
+	w := s.Workers()
+	anon := baselines.NewANON(1)
+	anon.Workers = w
+	nete := baselines.NewNetE(1)
+	nete.HDBSCAN.Workers = w
+	aminer := baselines.NewAminer(s.Emb, 1)
+	aminer.Workers = w
+	return []baselines.Disambiguator{anon, nete, aminer, baselines.NewGHOST()}
 }
 
 // NetworkMetrics evaluates a network's slot assignment over names.

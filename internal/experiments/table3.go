@@ -37,15 +37,11 @@ func RunTable3(s *Suite) (Table, []MethodResult, error) {
 		if err != nil {
 			return Table{}, nil, fmt.Errorf("table3: train %v: %w", algo, err)
 		}
+		clf.Workers = s.Workers()
 		results = append(results, runBaseline(s, clf))
 	}
 	// Unsupervised baselines.
-	for _, d := range []baselines.Disambiguator{
-		baselines.NewANON(1),
-		baselines.NewNetE(1),
-		baselines.NewAminer(s.Emb, 1),
-		baselines.NewGHOST(),
-	} {
+	for _, d := range s.UnsupervisedBaselines() {
 		results = append(results, runBaseline(s, d))
 	}
 	// IUAD.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"iuad/internal/baselines"
 	"iuad/internal/core"
 	"iuad/internal/eval"
 )
@@ -42,12 +41,7 @@ func RunTable5(s *Suite, fractions []float64) (Table, []ScalePoint, error) {
 		if len(names) == 0 {
 			return Table{}, nil, fmt.Errorf("table5: no test names at fraction %.2f", frac)
 		}
-		for _, d := range []baselines.Disambiguator{
-			baselines.NewANON(1),
-			baselines.NewNetE(1),
-			baselines.NewAminer(s.Emb, 1),
-			baselines.NewGHOST(),
-		} {
+		for _, d := range s.UnsupervisedBaselines() {
 			var sw eval.Stopwatch
 			for _, name := range names {
 				papers := sub.PapersWithName(name)

@@ -1,0 +1,147 @@
+// Package sched is the bounded worker pool behind Config.Workers: every
+// parallel section of the IUAD pipeline fans its work items out through
+// this package and reduces the results in a caller-fixed order.
+//
+// The determinism contract is central. Name blocks (and other work
+// items) may be *processed* in any order by any worker, but results are
+// always written into positional slots keyed by the item's index, and
+// every floating-point reduction happens on the caller's goroutine in
+// index order. Consequently the pipeline's output is bit-identical for
+// any worker count — Workers=1 and Workers=N produce the same networks,
+// the same fitted model, and the same cluster assignments.
+//
+// Scheduling is dynamic: workers draw the next item index from a shared
+// atomic cursor, so a heavy-tailed distribution of item costs (name
+// blocks in a real digital library follow a power law) self-balances
+// without any up-front partitioning.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values ≤ 0 mean "one
+// worker per logical CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers`
+// goroutines. With workers ≤ 1 (or n ≤ 1) it runs inline on the caller's
+// goroutine, so a Workers=1 pipeline is genuinely single-threaded.
+//
+// fn must not mutate shared state unless that state is sharded by i.
+// A panic in any fn is re-raised on the caller's goroutine after all
+// workers have stopped.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Workers draw batches of `grain` consecutive items from the shared
+	// cursor: large enough to amortize the atomic fetch-add over cheap
+	// items (per-sample E-steps), small enough that a heavy-tailed block
+	// landing in one batch still leaves plenty of batches to balance.
+	grain := n / (workers * 16)
+	if grain < 1 {
+		grain = 1
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		panicO sync.Once
+		panicV any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicO.Do(func() { panicV = r })
+					// Drain the cursor so sibling workers stop promptly.
+					cursor.Store(int64(n))
+				}
+			}()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on up to `workers` goroutines and
+// returns the results in index order. The positional result slice is the
+// deterministic-reduction primitive: processing order never leaks into
+// the output.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Chunks splits [0, n) into at most `workers` contiguous half-open
+// ranges [lo, hi) of near-equal size, in ascending order. It is the
+// sharding primitive for counter-style reductions: each worker owns one
+// contiguous shard, and merging shard results in slice order preserves
+// the serial iteration order of the underlying items.
+func Chunks(workers, n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	size := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// MapChunks shards [0, n) with Chunks, runs fn(lo, hi) per shard in
+// parallel, and returns the shard results in ascending-range order —
+// ready for an in-order merge on the caller's goroutine.
+func MapChunks[T any](workers, n int, fn func(lo, hi int) T) []T {
+	chunks := Chunks(workers, n)
+	return Map(workers, len(chunks), func(i int) T {
+		return fn(chunks[i][0], chunks[i][1])
+	})
+}

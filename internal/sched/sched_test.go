@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0)=%d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3)=%d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5)=%d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	ForEach(8, 0, func(int) { t.Fatal("called on n=0") })
+	calls := 0
+	ForEach(8, 1, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1 calls=%d", calls)
+	}
+}
+
+func TestMapIsPositional(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			ForEach(workers, 50, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: no panic", workers)
+		}()
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	cases := []struct{ workers, n int }{
+		{1, 10}, {3, 10}, {4, 4}, {8, 3}, {5, 100}, {7, 0},
+	}
+	for _, tc := range cases {
+		chunks := Chunks(tc.workers, tc.n)
+		covered := 0
+		prev := 0
+		for _, c := range chunks {
+			if c[0] != prev {
+				t.Fatalf("workers=%d n=%d: gap before %v", tc.workers, tc.n, c)
+			}
+			if c[1] < c[0] {
+				t.Fatalf("workers=%d n=%d: inverted chunk %v", tc.workers, tc.n, c)
+			}
+			covered += c[1] - c[0]
+			prev = c[1]
+		}
+		if covered != tc.n {
+			t.Fatalf("workers=%d n=%d: covered %d", tc.workers, tc.n, covered)
+		}
+		if tc.n > 0 && len(chunks) > Workers(tc.workers) {
+			t.Fatalf("workers=%d n=%d: %d chunks", tc.workers, tc.n, len(chunks))
+		}
+	}
+}
+
+func TestMapChunksOrderedMerge(t *testing.T) {
+	// Summing chunk maxima in order reproduces the serial order of items.
+	for _, workers := range []int{1, 3, 8} {
+		const n = 97
+		parts := MapChunks(workers, n, func(lo, hi int) []int {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out
+		})
+		var flat []int
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+		if len(flat) != n {
+			t.Fatalf("workers=%d: %d items", workers, len(flat))
+		}
+		for i, v := range flat {
+			if v != i {
+				t.Fatalf("workers=%d: flat[%d]=%d — merge not in serial order", workers, i, v)
+			}
+		}
+	}
+}

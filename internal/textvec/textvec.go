@@ -233,11 +233,13 @@ func Train(sentences [][]string, cfg Config) *Embeddings {
 			tokens += len(row)
 		}
 	}
+	// Warm the lazy mean cache while still single-threaded — on every
+	// return path, since concurrent CenteredCentroid callers would
+	// otherwise race on the first Mean() computation.
+	defer func() { e.Mean() }()
 	if tokens == 0 {
 		return e
 	}
-
-	defer func() { e.Mean() }() // warm the cache while still single-threaded
 	steps := 0
 	totalSteps := cfg.Epochs * tokens
 	grad := make([]float32, cfg.Dim)

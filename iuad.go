@@ -34,6 +34,22 @@
 //	// Stream a newly published paper (§V-E) — no retraining:
 //	assignments, err := pipeline.AddPaper(iuad.Paper{ ... })
 //
+// # Parallelism
+//
+// The pipeline is parallel over same-name blocks (the natural unit of
+// stage-2 work) plus the per-paper scans of stage 1, the EM batch
+// E-steps, and incremental candidate scoring. Config.Workers bounds the
+// worker pool; DefaultConfig uses one worker per logical CPU and
+// Workers=1 runs fully single-threaded.
+//
+// Determinism guarantee: blocks are processed in any order but results
+// are reduced in stable block-key order, so every worker count produces
+// bit-identical output — the same networks, the same fitted model, the
+// same cluster assignments:
+//
+//	cfg := iuad.DefaultConfig()
+//	cfg.Workers = 8 // identical results to cfg.Workers = 1, just faster
+//
 // See the examples/ directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured
 // reproduction results.

@@ -1,0 +1,136 @@
+package iuad_test
+
+import (
+	"fmt"
+	"testing"
+
+	"iuad"
+)
+
+// equivSynthConfigs enumerates the synthetic corpora the equivalence
+// property is checked on: different sizes, community structures and
+// seeds, so the parallel engine is exercised across name-block shapes.
+func equivSynthConfigs() []iuad.SyntheticConfig {
+	var out []iuad.SyntheticConfig
+	for _, shape := range []struct {
+		authors, communities int
+		seeds                []int64
+	}{
+		{300, 8, []int64{11, 12}},
+		{500, 12, []int64{7}},
+	} {
+		for _, seed := range shape.seeds {
+			cfg := iuad.DefaultSyntheticConfig()
+			cfg.Seed = seed
+			cfg.Authors = shape.authors
+			cfg.Communities = shape.communities
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+func equivCoreConfig(workers int) iuad.Config {
+	cfg := iuad.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Embedding.Dim = 16
+	cfg.Embedding.Epochs = 2
+	cfg.SampleRate = 0.5
+	return cfg
+}
+
+// TestParallelSerialEquivalence is the determinism contract of the
+// parallel engine: Disambiguate with Workers=1 and Workers=8 must
+// produce bit-identical results — the same cluster assignment for every
+// author slot, the same candidate-pair scores, and the same calibrated
+// threshold — on every synthetic corpus and seed.
+func TestParallelSerialEquivalence(t *testing.T) {
+	for ci, scfg := range equivSynthConfigs() {
+		scfg := scfg
+		t.Run(fmt.Sprintf("corpus%d_seed%d", ci, scfg.Seed), func(t *testing.T) {
+			t.Parallel()
+			d := iuad.GenerateSynthetic(scfg)
+			serial, err := iuad.Disambiguate(d.Corpus, equivCoreConfig(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := iuad.Disambiguate(d.Corpus, equivCoreConfig(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := parallel.CalibratedDelta, serial.CalibratedDelta; got != want {
+				t.Errorf("CalibratedDelta: workers=8 %v, workers=1 %v", got, want)
+			}
+			if got, want := parallel.TrainingPairs, serial.TrainingPairs; got != want {
+				t.Errorf("TrainingPairs: workers=8 %d, workers=1 %d", got, want)
+			}
+			ss, ps := serial.ScoredPairs(), parallel.ScoredPairs()
+			if len(ss) != len(ps) {
+				t.Fatalf("scored pairs: workers=8 %d, workers=1 %d", len(ps), len(ss))
+			}
+			for i := range ss {
+				if ss[i] != ps[i] {
+					t.Fatalf("scored pair %d: workers=8 %+v, workers=1 %+v", i, ps[i], ss[i])
+				}
+			}
+
+			for _, net := range []struct {
+				name             string
+				serial, parallel *iuad.Network
+			}{
+				{"SCN", serial.SCN, parallel.SCN},
+				{"GCN", serial.GCN, parallel.GCN},
+			} {
+				if got, want := net.parallel.VertexCount(), net.serial.VertexCount(); got != want {
+					t.Fatalf("%s vertices: workers=8 %d, workers=1 %d", net.name, got, want)
+				}
+				if got, want := net.parallel.EdgeCount(), net.serial.EdgeCount(); got != want {
+					t.Fatalf("%s edges: workers=8 %d, workers=1 %d", net.name, got, want)
+				}
+			}
+			// The core contract: identical cluster assignment per slot.
+			for i := 0; i < d.Corpus.Len(); i++ {
+				p := d.Corpus.Paper(iuad.PaperID(i))
+				for idx := range p.Authors {
+					slot := iuad.Slot{Paper: p.ID, Index: idx}
+					vs, vp := serial.GCN.ClusterOfSlot(slot), parallel.GCN.ClusterOfSlot(slot)
+					if vs != vp {
+						t.Fatalf("slot %+v: workers=1 → vertex %d, workers=8 → vertex %d",
+							slot, vs, vp)
+					}
+				}
+			}
+
+			// Incremental assignment must agree too: stream the same new
+			// papers through both pipelines.
+			for k := 0; k < 3; k++ {
+				paper := iuad.Paper{
+					Title: fmt.Sprintf("parallel equivalence probe %d", k),
+					Venue: d.Corpus.Paper(iuad.PaperID(k)).Venue,
+					Year:  2021,
+					Authors: []string{
+						d.Corpus.Paper(iuad.PaperID(k)).Authors[0],
+					},
+				}
+				as, err := serial.AddPaper(paper)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ap, err := parallel.AddPaper(paper)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(as) != len(ap) {
+					t.Fatalf("AddPaper %d: %d vs %d assignments", k, len(as), len(ap))
+				}
+				for i := range as {
+					if as[i] != ap[i] {
+						t.Fatalf("AddPaper %d slot %d: workers=1 %+v, workers=8 %+v",
+							k, i, as[i], ap[i])
+					}
+				}
+			}
+		})
+	}
+}
