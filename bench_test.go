@@ -133,6 +133,45 @@ func BenchmarkTable5ScalabilityWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkStage1SCN isolates stage 1 (η-SCR mining + stable network
+// assembly): the per-paper pair scans whose hashing cost the interned
+// columnar core targets. Allocations are reported so the intern
+// refactor's memory win is visible in the perf trajectory.
+func BenchmarkStage1SCN(b *testing.B) {
+	s := benchSuite(b)
+	cfg := s.Opts.Core
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scn, err := core.BuildSCN(s.Corpus, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(scn.VertexCount()), "SCN-verts")
+	}
+}
+
+// BenchmarkStage2GCN isolates stage 2 (profiles, the six similarity
+// functions, EM fit, merge rounds) on a prebuilt SCN — the hot path of
+// the pipeline and the main beneficiary of int-indexed profiles.
+func BenchmarkStage2GCN(b *testing.B) {
+	s := benchSuite(b)
+	cfg := s.Opts.Core
+	scn, err := core.BuildSCN(s.Corpus, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := core.BuildGCN(s.Corpus, scn, s.Emb, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pl.GCN.VertexCount()), "GCN-verts")
+	}
+}
+
 // BenchmarkIncrementalWorkers measures the §V-E streaming path at
 // Workers=1 vs GOMAXPROCS (per-candidate scoring fans out for ambiguous
 // names).

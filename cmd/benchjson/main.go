@@ -1,17 +1,22 @@
 // Command benchjson is the benchmark regression harness for the
-// parallel disambiguation engine: it times the Table V scalability
-// workload (stage 1 + stage 2 on a synthetic corpus, embeddings trained
-// once and shared) at several worker counts and emits machine-readable
-// JSON so future changes can track the perf trajectory.
+// disambiguation engine: it times the Table V scalability workload
+// (stage 1 + stage 2 on a synthetic corpus, embeddings trained once and
+// shared) at several worker counts, records memory behavior (bytes/op,
+// allocs/op, heap in use), and emits machine-readable JSON so future
+// changes can track the perf trajectory.
 //
 // Usage:
 //
-//	benchjson [-scale quick] [-workers 1,2,4,8] [-reps 3] [-out BENCH_parallel.json]
+//	benchjson [-scale quick] [-workers 1,2,4,8] [-reps 3] [-out BENCH_intern.json]
+//	          [-baseline-ns N -baseline-bytes N -baseline-allocs N]
 //
 // The emitted file records ns/op per worker count plus the speedup over
 // Workers=1, together with gomaxprocs/num_cpu — speedup is a property
 // of the hardware the harness ran on (a single-core container reports
 // ≈1.0 by construction; the engine's output is identical either way).
+// The optional -baseline-* flags embed a reference measurement (e.g.
+// the pre-refactor implementation at Workers=1) so the report carries
+// its own before/after comparison.
 package main
 
 import (
@@ -29,11 +34,23 @@ import (
 	"iuad/internal/experiments"
 )
 
-// Result is one (workers, time) measurement.
+// Result is one (workers, time, memory) measurement. Time is the
+// minimum over reps; memory counters are from the same best rep.
 type Result struct {
 	Workers         int     `json:"workers"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	BytesPerOp      uint64  `json:"bytes_per_op"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"`
+	HeapInUseAfter  uint64  `json:"heap_in_use_after"`
+}
+
+// Baseline is an optional reference measurement embedded via flags.
+type Baseline struct {
+	Label       string `json:"label"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
 }
 
 // Report is the emitted document.
@@ -46,6 +63,7 @@ type Report struct {
 	NumCPU       int       `json:"num_cpu"`
 	Reps         int       `json:"reps"`
 	Results      []Result  `json:"results"`
+	Baseline     *Baseline `json:"baseline,omitempty"`
 	GeneratedAt  time.Time `json:"generated_at"`
 }
 
@@ -53,10 +71,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		scale   = flag.String("scale", "quick", "corpus scale: default | quick")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts to time")
-		reps    = flag.Int("reps", 3, "repetitions per worker count (minimum time wins)")
-		out     = flag.String("out", "BENCH_parallel.json", "output JSON path")
+		scale    = flag.String("scale", "quick", "corpus scale: default | quick")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to time")
+		reps     = flag.Int("reps", 3, "repetitions per worker count (minimum time wins)")
+		out      = flag.String("out", "BENCH_intern.json", "output JSON path")
+		baseNs   = flag.Int64("baseline-ns", 0, "reference ns/op to embed (0 = none)")
+		baseB    = flag.Uint64("baseline-bytes", 0, "reference bytes/op to embed")
+		baseA    = flag.Uint64("baseline-allocs", 0, "reference allocs/op to embed")
+		baseNote = flag.String("baseline-label", "pre-refactor string-keyed core, workers=1", "label for the embedded baseline")
 	)
 	flag.Parse()
 
@@ -89,18 +111,35 @@ func main() {
 	fmt.Printf("suite: %d papers (built in %v, embeddings shared across runs)\n",
 		s.Corpus.Len(), time.Since(start).Round(time.Millisecond))
 
-	run := func(w int) time.Duration {
+	// run executes one full engine pass and reports wall time plus the
+	// allocation deltas around it (GC'd before and after, so bytes/op is
+	// total allocation, not residency; HeapInuse after the final GC
+	// approximates the pipeline's resident working set).
+	run := func(w int) (time.Duration, uint64, uint64, uint64) {
 		cfg := opts.Core
 		cfg.Workers = w
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
 		t0 := time.Now()
 		scn, err := core.BuildSCN(s.Corpus, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := core.BuildGCN(s.Corpus, scn, s.Emb, cfg); err != nil {
+		pl, err := core.BuildGCN(s.Corpus, scn, s.Emb, cfg)
+		if err != nil {
 			log.Fatal(err)
 		}
-		return time.Since(t0)
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		bytesOp := after.TotalAlloc - before.TotalAlloc
+		allocsOp := after.Mallocs - before.Mallocs
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		// pl must stay live through the final ReadMemStats so HeapInuse
+		// includes the fitted pipeline it claims to measure.
+		runtime.KeepAlive(pl)
+		return elapsed, bytesOp, allocsOp, after.HeapInuse
 	}
 
 	rep := Report{
@@ -113,13 +152,22 @@ func main() {
 		Reps:         *reps,
 		GeneratedAt:  time.Now().UTC(),
 	}
+	if *baseNs > 0 {
+		rep.Baseline = &Baseline{
+			Label:       *baseNote,
+			NsPerOp:     *baseNs,
+			BytesPerOp:  *baseB,
+			AllocsPerOp: *baseA,
+		}
+	}
 	var serial time.Duration
 	for _, w := range counts {
 		best := time.Duration(0)
+		var bestBytes, bestAllocs, bestHeap uint64
 		for r := 0; r < *reps; r++ {
-			d := run(w)
+			d, bytesOp, allocsOp, heap := run(w)
 			if best == 0 || d < best {
-				best = d
+				best, bestBytes, bestAllocs, bestHeap = d, bytesOp, allocsOp, heap
 			}
 		}
 		if w == 1 {
@@ -133,8 +181,13 @@ func main() {
 			Workers:         w,
 			NsPerOp:         best.Nanoseconds(),
 			SpeedupVsSerial: speedup,
+			BytesPerOp:      bestBytes,
+			AllocsPerOp:     bestAllocs,
+			HeapInUseAfter:  bestHeap,
 		})
-		fmt.Printf("workers=%d: %v (%.2fx vs serial)\n", w, best.Round(time.Millisecond), speedup)
+		fmt.Printf("workers=%d: %v (%.2fx vs serial), %.1f MB/op, %d allocs/op, heap %0.1f MB\n",
+			w, best.Round(time.Millisecond), speedup,
+			float64(bestBytes)/(1<<20), bestAllocs, float64(bestHeap)/(1<<20))
 	}
 
 	f, err := os.Create(*out)

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	iuad -in corpus.jsonl [-eta 2] [-workers 0] [-name "Wei Wang"] [-top 5]
+//	     [-save pipeline.snap]
+//	iuad -load pipeline.snap [-name "Wei Wang"] [-top 5]
+//
+// -save writes a binary snapshot of the fitted pipeline after
+// disambiguation; -load restores one instead of re-running EM over the
+// corpus, so a warm pipeline serves incremental queries immediately
+// after restart.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"iuad"
 )
@@ -26,29 +34,58 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size (0 = one per logical CPU; output is identical for any value)")
 		name    = flag.String("name", "", "print clusters of this name only")
 		top     = flag.Int("top", 5, "without -name: print the top-N most fragmented names")
+		save    = flag.String("save", "", "write a binary pipeline snapshot here after disambiguation")
+		load    = flag.String("load", "", "restore a pipeline snapshot instead of fitting (-in is ignored)")
 	)
 	flag.Parse()
-	if *in == "" {
+	if *in == "" && *load == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	corpus, err := iuad.LoadCorpusFile(*in)
-	if err != nil {
-		log.Fatal(err)
+	var pl *iuad.Pipeline
+	if *load != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "eta" || f.Name == "in" {
+				log.Printf("warning: -%s is ignored with -load (the snapshot carries the fitted pipeline)", f.Name)
+			}
+		})
+		start := time.Now()
+		var err error
+		pl, err = iuad.LoadPipelineFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Workers is serving-host tuning, not fitted state: output is
+		// bit-identical for any value, so the flag applies after load.
+		pl.Cfg.Workers = *workers
+		fmt.Printf("pipeline restored from %s in %v (no retraining)\n",
+			*load, time.Since(start).Round(time.Millisecond))
+	} else {
+		corpus, err := iuad.LoadCorpusFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := iuad.DefaultConfig()
+		cfg.Eta = *eta
+		cfg.Workers = *workers
+		pl, err = iuad.Disambiguate(corpus, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	cfg := iuad.DefaultConfig()
-	cfg.Eta = *eta
-	cfg.Workers = *workers
-	pl, err := iuad.Disambiguate(corpus, cfg)
-	if err != nil {
-		log.Fatal(err)
+	if *save != "" {
+		if err := iuad.SavePipelineFile(*save, pl); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline snapshot written to %s\n", *save)
 	}
-	fmt.Printf("corpus: %d papers, %d names\n", corpus.Len(), len(corpus.Names()))
+	corpus := pl.Corpus
+	names := corpus.Names()
+	fmt.Printf("corpus: %d papers, %d names\n", corpus.Len(), len(names))
 	fmt.Printf("SCN: %d vertices, %d edges\n", pl.SCN.VertexCount(), pl.SCN.EdgeCount())
 	fmt.Printf("GCN: %d vertices, %d edges (threshold %.2f)\n\n",
-		pl.GCN.VertexCount(), pl.GCN.EdgeCount(), pl.CalibratedDelta+cfg.Delta)
+		pl.GCN.VertexCount(), pl.GCN.EdgeCount(), pl.CalibratedDelta+pl.Cfg.Delta)
 
-	names := corpus.Names()
 	if *name != "" {
 		names = []string{*name}
 	} else {

@@ -16,8 +16,9 @@ package bib
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
+
+	"iuad/internal/intern"
 )
 
 // PaperID identifies a paper inside one Corpus. IDs are dense indexes
@@ -107,16 +108,34 @@ func (p *Paper) AuthorIndex(name string) int {
 // with NewCorpus / Add / Freeze, or load one with ReadJSON.
 //
 // A Corpus is immutable after Freeze; all read methods are then safe for
-// concurrent use.
+// concurrent use. The only exception is the intern tables themselves:
+// the incremental pipeline grows them (single-goroutine) when newly
+// streamed papers carry names, venues or title tokens the frozen corpus
+// has never seen — see the columnar accessors in columnar.go.
 type Corpus struct {
 	papers []Paper
 	frozen bool
 
-	// Derived indexes, built by Freeze.
-	byName    map[string][]PaperID // name -> papers containing it
-	venueFreq map[string]int       // venue -> number of papers
-	wordFreq  map[string]int       // lowercased title token -> papers containing it
-	names     []string             // all distinct names, sorted
+	// Interned symbol tables, built by Freeze. IDs of corpus symbols are
+	// sorted ranks (intern.Build), so ascending-ID iteration equals the
+	// lexicographic iteration of the former string-keyed indexes.
+	nameTab  *intern.Table // author names
+	venueTab *intern.Table // non-empty venue strings
+	wordTab  *intern.Table // lowercased title tokens
+
+	// Columnar per-paper attributes (CSR layout), built by Freeze. The
+	// string-based Paper records stay the API boundary; hot paths index
+	// these slices instead of re-hashing strings.
+	authorOff []int32     // len(papers)+1 offsets into authorIDs
+	authorIDs []intern.ID // slot name IDs, print order
+	venueIDs  []intern.ID // per paper; intern.None for empty venues
+	kwOff     []int32     // len(papers)+1 offsets into kwIDs
+	kwIDs     []intern.ID // keyword token IDs, title order, duplicates kept
+
+	// Inverted/frequency indexes over IDs.
+	byNameID   [][]PaperID // NameID -> papers containing the name
+	venueFreqs []int32     // VenueID -> number of papers
+	wordFreqs  []int32     // TokenID -> papers whose title contains it
 }
 
 // NewCorpus returns an empty corpus with capacity hints.
@@ -153,38 +172,65 @@ func (c *Corpus) MustAdd(p Paper) PaperID {
 	return id
 }
 
-// Freeze builds the derived indexes and makes the corpus immutable.
-// Calling Freeze twice is a no-op.
+// Freeze builds the interned tables and columnar indexes, making the
+// corpus immutable. Calling Freeze twice is a no-op. Symbols are hashed
+// exactly once here; afterwards every hot path works on dense int32 IDs.
 func (c *Corpus) Freeze() {
 	if c.frozen {
 		return
 	}
 	c.frozen = true
-	c.byName = make(map[string][]PaperID)
-	c.venueFreq = make(map[string]int)
-	c.wordFreq = make(map[string]int)
+
+	// Pass 1: collect symbols (titles are tokenized once and reused).
+	var nameSyms, venueSyms, wordSyms []string
+	tokens := make([][]string, len(c.papers))
+	for i := range c.papers {
+		p := &c.papers[i]
+		nameSyms = append(nameSyms, p.Authors...)
+		if p.Venue != "" {
+			venueSyms = append(venueSyms, p.Venue)
+		}
+		tokens[i] = TitleTokens(p.Title)
+		wordSyms = append(wordSyms, tokens[i]...)
+	}
+	c.nameTab = intern.Build(nameSyms)
+	c.venueTab = intern.Build(venueSyms)
+	c.wordTab = intern.Build(wordSyms)
+
+	// Pass 2: columnar fill + inverted/frequency indexes.
+	c.authorOff = make([]int32, len(c.papers)+1)
+	c.kwOff = make([]int32, len(c.papers)+1)
+	c.venueIDs = make([]intern.ID, len(c.papers))
+	c.byNameID = make([][]PaperID, c.nameTab.Len())
+	c.venueFreqs = make([]int32, c.venueTab.Len())
+	c.wordFreqs = make([]int32, c.wordTab.Len())
+	seen := make([]int32, c.wordTab.Len()) // per-paper dedup marks (paper+1)
 	for i := range c.papers {
 		p := &c.papers[i]
 		for _, a := range p.Authors {
-			c.byName[a] = append(c.byName[a], p.ID)
+			id, _ := c.nameTab.Lookup(a)
+			c.authorIDs = append(c.authorIDs, id)
+			c.byNameID[id] = append(c.byNameID[id], p.ID)
 		}
+		c.authorOff[i+1] = int32(len(c.authorIDs))
+		c.venueIDs[i] = intern.None
 		if p.Venue != "" {
-			c.venueFreq[p.Venue]++
+			vid, _ := c.venueTab.Lookup(p.Venue)
+			c.venueIDs[i] = vid
+			c.venueFreqs[vid]++
 		}
-		seen := map[string]struct{}{}
-		for _, w := range TitleTokens(p.Title) {
-			if _, dup := seen[w]; dup {
-				continue
+		for _, w := range tokens[i] {
+			wid, _ := c.wordTab.Lookup(w)
+			if seen[wid] != int32(i)+1 {
+				seen[wid] = int32(i) + 1
+				c.wordFreqs[wid]++
 			}
-			seen[w] = struct{}{}
-			c.wordFreq[w]++
+			if isKeywordToken(w) {
+				c.kwIDs = append(c.kwIDs, wid)
+			}
 		}
+		c.kwOff[i+1] = int32(len(c.kwIDs))
 	}
-	c.names = make([]string, 0, len(c.byName))
-	for n := range c.byName {
-		c.names = append(c.names, n)
-	}
-	sortStrings(c.names)
 }
 
 // Frozen reports whether Freeze has been called.
@@ -205,27 +251,42 @@ func (c *Corpus) Papers() []Paper { return c.papers }
 // name. The returned slice is owned by the corpus; do not mutate.
 func (c *Corpus) PapersWithName(name string) []PaperID {
 	c.mustBeFrozen("PapersWithName")
-	return c.byName[name]
+	id, ok := c.nameTab.Lookup(name)
+	if !ok || int(id) >= len(c.byNameID) {
+		return nil
+	}
+	return c.byNameID[id]
 }
 
-// Names returns all distinct author names, sorted. Owned by the corpus.
+// Names returns all distinct author names of the frozen corpus, sorted.
+// The slice is freshly allocated (callers historically reorder it); the
+// strings are the intern table's own.
 func (c *Corpus) Names() []string {
 	c.mustBeFrozen("Names")
-	return c.names
+	frozen := c.nameTab.Strings()[:c.nameTab.FrozenLen()]
+	return append([]string(nil), frozen...)
 }
 
 // VenueFrequency returns the number of papers published at venue
 // (F_H(h) in §V-B3, Eq. 9).
 func (c *Corpus) VenueFrequency(venue string) int {
 	c.mustBeFrozen("VenueFrequency")
-	return c.venueFreq[venue]
+	id, ok := c.venueTab.Lookup(venue)
+	if !ok {
+		return 0
+	}
+	return c.VenueFrequencyID(id)
 }
 
 // WordFrequency returns the number of papers whose title contains the
 // (lowercased) token w — F_B(b) in §V-B2, Eq. 7.
 func (c *Corpus) WordFrequency(w string) int {
 	c.mustBeFrozen("WordFrequency")
-	return c.wordFreq[w]
+	id, ok := c.wordTab.Lookup(w)
+	if !ok {
+		return 0
+	}
+	return c.WordFrequencyID(id)
 }
 
 // AuthorPaperPairs counts author-slot occurrences over the whole corpus
@@ -274,5 +335,3 @@ func (c *Corpus) Subset(n int) *Corpus {
 	sub.Freeze()
 	return sub
 }
-
-func sortStrings(s []string) { sort.Strings(s) }

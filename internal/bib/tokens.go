@@ -57,10 +57,16 @@ func Keywords(title string) []string {
 	toks := TitleTokens(title)
 	out := toks[:0]
 	for _, t := range toks {
-		if len(t) <= 1 || IsStopWord(t) {
+		if !isKeywordToken(t) {
 			continue
 		}
 		out = append(out, t)
 	}
 	return out
+}
+
+// isKeywordToken reports whether a title token survives the keyword
+// filter of §V-B2 (no stop words, no single characters).
+func isKeywordToken(t string) bool {
+	return len(t) > 1 && !IsStopWord(t)
 }

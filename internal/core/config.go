@@ -151,6 +151,13 @@ type Config struct {
 	// EMOptions tunes the EM fit. Its Workers field is ignored: the
 	// pipeline always runs EM with this Config's Workers pool.
 	EMOptions emfit.Options
+
+	// symCache is set by BuildGCN so every similarityComputer of one run
+	// shares the per-symbol lookup tables (see symbolCaches). Unexported:
+	// internal plumbing, invisible to JSON config serialization, and
+	// rebuilt fresh by each BuildGCN call (the caller's Config value is
+	// received by value and never mutated).
+	symCache *symbolCaches
 }
 
 // DefaultConfig returns the paper-faithful parameterization.

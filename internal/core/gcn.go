@@ -7,6 +7,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/emfit"
+	"iuad/internal/intern"
 	"iuad/internal/sched"
 	"iuad/internal/textvec"
 )
@@ -34,7 +35,14 @@ type Pipeline struct {
 	// Config.Delta offsets it.
 	CalibratedDelta float64
 
-	extra        []bib.Paper // incrementally added papers
+	extra []bib.Paper // incrementally added papers
+	// Columnar views of the incremental stream, aligned with extra and
+	// interned into the corpus tables (the stream may introduce symbols
+	// the frozen corpus never saw).
+	extraKw    [][]intern.ID
+	extraVenue []intern.ID
+	extraYear  []int
+
 	sim          *similarityComputer
 	scored       []ScoredPair
 	forcedMerges [][2]int // curator same-author labels (SCN vertex pairs)
@@ -84,6 +92,7 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.symCache = buildSymbolCaches(corpus, emb)
 	pl := &Pipeline{Corpus: corpus, Cfg: cfg, SCN: scn, Emb: emb}
 	if len(scn.Verts) == 0 {
 		// Empty corpus: there is nothing to merge and nothing to fit a
@@ -259,25 +268,27 @@ func mergeScored(uf *unionFind, scored []ScoredPair, delta float64, strategy Mer
 // block are computed by the worker pool and merged back in the same
 // stable name order — identical output for every worker count.
 func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, rng *rand.Rand) []candidatePair {
-	names := make([]string, 0, len(scn.ByName))
-	for name, ids := range scn.ByName {
+	nameIDs := make([]intern.ID, 0, len(scn.byName))
+	for nid, ids := range scn.byName {
 		if len(ids) > 1 {
-			names = append(names, name)
+			nameIDs = append(nameIDs, intern.ID(nid))
 		}
 	}
-	sort.Strings(names)
+	// Lexicographic block order (== ascending ID for frozen names): the
+	// stable reduction order of the former string-keyed implementation.
+	scn.names.Sort(nameIDs)
 	// Profile construction dominates stage-2 cost and is independent per
 	// vertex; warm the cache with the worker pool so the parallel pair
 	// loop below only reads it.
 	var involved []int
-	for _, name := range names {
-		involved = append(involved, scn.ByName[name]...)
+	for _, nid := range nameIDs {
+		involved = append(involved, scn.byName[nid]...)
 	}
 	sim.precomputeProfiles(involved)
-	blocks := make([][][2]int, 0, len(names))
+	blocks := make([][][2]int, 0, len(nameIDs))
 	total := 0
-	for _, name := range names {
-		ids := scn.ByName[name]
+	for _, nid := range nameIDs {
+		ids := scn.byName[nid]
 		namePairs := make([][2]int, 0, len(ids)*(len(ids)-1)/2)
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
@@ -394,7 +405,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 		for k := 0; k < 2*synth && len(verts) >= 2; {
 			a := rng.Intn(len(verts))
 			b := rng.Intn(len(verts))
-			if a == b || verts[a].Name == verts[b].Name {
+			if a == b || verts[a].NameID == verts[b].NameID {
 				continue
 			}
 			uniformPairs = append(uniformPairs, [2]int{a, b})
@@ -406,7 +417,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 			ids := byVenue[venues[rng.Intn(len(venues))]]
 			a := ids[rng.Intn(len(ids))]
 			b := ids[rng.Intn(len(ids))]
-			if a == b || verts[a].Name == verts[b].Name {
+			if a == b || verts[a].NameID == verts[b].NameID {
 				continue
 			}
 			hardPairs = append(hardPairs, [2]int{a, b})
@@ -495,14 +506,15 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 }
 
 // venueIndex maps each multi-vertex venue to the vertices publishing in
-// it, plus a sorted venue list for deterministic sampling.
-func venueIndex(sim *similarityComputer) ([]string, map[string][]int) {
-	byVenue := map[string][]int{}
+// it, plus a venue list in lexicographic symbol order for deterministic
+// sampling (identical to the former sorted-string order).
+func venueIndex(sim *similarityComputer) ([]intern.ID, map[intern.ID][]int) {
+	byVenue := map[intern.ID][]int{}
 	for v := range sim.net.Verts {
-		seen := map[string]struct{}{}
+		seen := map[intern.ID]struct{}{}
 		for _, pid := range sim.net.Verts[v].Papers {
-			venue := sim.src.PaperByID(pid).Venue
-			if venue == "" {
+			venue := sim.src.venueIDOf(pid)
+			if venue == intern.None {
 				continue
 			}
 			if _, dup := seen[venue]; dup {
@@ -512,7 +524,7 @@ func venueIndex(sim *similarityComputer) ([]string, map[string][]int) {
 			byVenue[venue] = append(byVenue[venue], v)
 		}
 	}
-	var venues []string
+	var venues []intern.ID
 	for venue, ids := range byVenue {
 		if len(ids) < 2 {
 			delete(byVenue, venue)
@@ -520,7 +532,7 @@ func venueIndex(sim *similarityComputer) ([]string, map[string][]int) {
 		}
 		venues = append(venues, venue)
 	}
-	sort.Strings(venues)
+	sim.venueTab.Sort(venues)
 	return venues, byVenue
 }
 
@@ -549,8 +561,8 @@ func splitNetwork(scn *Network, cfg *Config, rng *rand.Rand) (*Network, [][2]int
 			for _, k := range movedIdx {
 				moved[vert.Papers[k]] = true
 			}
-			a := out.addVertex(vert.Name, vert.Isolated)
-			b := out.addVertex(vert.Name, vert.Isolated)
+			a := out.addVertexID(vert.NameID, vert.Isolated)
+			b := out.addVertexID(vert.NameID, vert.Isolated)
 			for _, p := range vert.Papers {
 				if moved[p] {
 					out.Verts[b].Papers = unionPapers(out.Verts[b].Papers, []bib.PaperID{p})
@@ -567,7 +579,7 @@ func splitNetwork(scn *Network, cfg *Config, rng *rand.Rand) (*Network, [][2]int
 			matched = append(matched, [2]int{a, b})
 			continue
 		}
-		id := out.addVertex(vert.Name, vert.Isolated)
+		id := out.addVertexID(vert.NameID, vert.Isolated)
 		out.Verts[id].Papers = append([]bib.PaperID(nil), vert.Papers...)
 		mapOf[v] = func(bib.PaperID) int { return id }
 	}
@@ -622,10 +634,39 @@ func (pl *Pipeline) PaperByID(id bib.PaperID) *bib.Paper {
 	return &pl.extra[int(id)-pl.Corpus.Len()]
 }
 
-// WordFrequency implements paperSource against the base corpus; the
-// incremental stream is small relative to the corpus, so corpus-level
-// frequencies remain the reference (documented approximation).
+// WordFrequency reports corpus-level word frequency; the incremental
+// stream is small relative to the corpus, so corpus-level frequencies
+// remain the reference (documented approximation).
 func (pl *Pipeline) WordFrequency(w string) int { return pl.Corpus.WordFrequency(w) }
 
-// VenueFrequency implements paperSource against the base corpus.
+// VenueFrequency reports corpus-level venue frequency.
 func (pl *Pipeline) VenueFrequency(v string) int { return pl.Corpus.VenueFrequency(v) }
+
+// paperSource implementation: columnar resolution over the corpus plus
+// the incremental stream.
+
+func (pl *Pipeline) keywordIDs(id bib.PaperID) []intern.ID {
+	if int(id) < pl.Corpus.Len() {
+		return pl.Corpus.KeywordIDs(id)
+	}
+	return pl.extraKw[int(id)-pl.Corpus.Len()]
+}
+
+func (pl *Pipeline) venueIDOf(id bib.PaperID) intern.ID {
+	if int(id) < pl.Corpus.Len() {
+		return pl.Corpus.VenueIDOf(id)
+	}
+	return pl.extraVenue[int(id)-pl.Corpus.Len()]
+}
+
+func (pl *Pipeline) yearOf(id bib.PaperID) int {
+	if int(id) < pl.Corpus.Len() {
+		return pl.Corpus.Paper(id).Year
+	}
+	return pl.extraYear[int(id)-pl.Corpus.Len()]
+}
+
+// wordFreqID and venueFreqID answer against the frozen corpus: symbols
+// interned by the stream have zero corpus frequency by construction.
+func (pl *Pipeline) wordFreqID(id intern.ID) int  { return pl.Corpus.WordFrequencyID(id) }
+func (pl *Pipeline) venueFreqID(id intern.ID) int { return pl.Corpus.VenueFrequencyID(id) }

@@ -6,6 +6,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/graph"
+	"iuad/internal/intern"
 	"iuad/internal/sched"
 	"iuad/internal/wlkernel"
 )
@@ -47,10 +48,30 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 	pl.extra = append(pl.extra, p)
 	paper := &pl.extra[len(pl.extra)-1]
 
+	// Intern the paper's symbols into the shared tables (deterministic:
+	// single goroutine, attribute order) and record its columnar view so
+	// the paperSource resolves it like a corpus paper.
+	nameIDs := make([]intern.ID, len(paper.Authors))
+	for i, a := range paper.Authors {
+		nameIDs[i] = pl.Corpus.NameTable().Intern(a)
+	}
+	venueID := intern.None
+	if paper.Venue != "" {
+		venueID = pl.Corpus.VenueTable().Intern(paper.Venue)
+	}
+	kw := bib.Keywords(paper.Title)
+	kwIDs := make([]intern.ID, len(kw))
+	for i, w := range kw {
+		kwIDs[i] = pl.Corpus.WordTable().Intern(w)
+	}
+	pl.extraKw = append(pl.extraKw, kwIDs)
+	pl.extraVenue = append(pl.extraVenue, venueID)
+	pl.extraYear = append(pl.extraYear, paper.Year)
+
 	out := make([]Assignment, 0, len(paper.Authors))
-	for idx, name := range paper.Authors {
+	for idx := range paper.Authors {
 		slot := Slot{Paper: paper.ID, Index: idx}
-		vertex, score, created := pl.assignSlot(paper, idx, name)
+		vertex, score, created := pl.assignSlot(paper, idx, nameIDs)
 		pl.GCN.SlotVertex[slot] = vertex
 		out = append(out, Assignment{Slot: slot, Vertex: vertex, Created: created, Score: score})
 	}
@@ -61,14 +82,53 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 		v.Papers = unionPapers(v.Papers, []bib.PaperID{paper.ID})
 		pl.sim.invalidate(a.Vertex)
 	}
+	newEdges := false
 	for i := 0; i < len(out); i++ {
 		for j := i + 1; j < len(out); j++ {
 			if out[i].Vertex != out[j].Vertex {
 				pl.GCN.addEdge(out[i].Vertex, out[j].Vertex, []bib.PaperID{paper.ID})
+				newEdges = true
 			}
 		}
 	}
+	// New collaboration edges change the WL ego nets (radius h) and
+	// triangle lists (radius 1) of every nearby vertex, not just the
+	// assigned ones; invalidate the whole affected neighborhood so cached
+	// profiles always equal fresh rebuilds. This transparency is what
+	// lets snapshots skip the profile cache: a loaded pipeline (cold
+	// cache) scores future papers identically to the live one.
+	if newEdges {
+		radius := pl.Cfg.WLIterations
+		if radius < 1 {
+			radius = 1 // triangles reach 1 hop even when WL depth is 0
+		}
+		for _, a := range out {
+			pl.invalidateNeighborhood(a.Vertex, radius)
+		}
+	}
 	return out, nil
+}
+
+// invalidateNeighborhood drops the cached profiles of every vertex
+// within the given hop radius of center (inclusive).
+func (pl *Pipeline) invalidateNeighborhood(center, radius int) {
+	pl.sim.invalidate(center)
+	frontier := []int{center}
+	seen := map[int]struct{}{center: {}}
+	for d := 0; d < radius; d++ {
+		var next []int
+		for _, v := range frontier {
+			pl.GCN.G.VisitNeighbors(v, func(u int) {
+				if _, dup := seen[u]; dup {
+					return
+				}
+				seen[u] = struct{}{}
+				pl.sim.invalidate(u)
+				next = append(next, u)
+			})
+		}
+		frontier = next
+	}
 }
 
 // assignSlot scores one author slot against the existing same-name
@@ -76,12 +136,12 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 // scoring fans out over the worker pool; the argmax reduction stays on
 // this goroutine in candidate order (strict >, first maximum wins), so
 // ties break identically for every worker count.
-func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, name string) (vertex int, score float64, created bool) {
-	candidates := pl.GCN.ByName[name]
+func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, nameIDs []intern.ID) (vertex int, score float64, created bool) {
+	candidates := pl.GCN.VerticesOfID(nameIDs[idx])
 	bestScore := math.Inf(-1)
 	best := -1
 	if len(candidates) > 0 && pl.Model != nil {
-		temp := pl.tempProfile(paper, idx)
+		temp := pl.tempProfile(paper, idx, nameIDs)
 		// Below this size the fan-out costs more than the scoring.
 		const minParallel = 8
 		var scores []float64
@@ -109,31 +169,27 @@ func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, name string) (vertex i
 	if best >= 0 && bestScore >= pl.CalibratedDelta+pl.Cfg.Delta {
 		return best, bestScore, false
 	}
-	iso := pl.GCN.addVertex(name, true)
+	iso := pl.GCN.addVertexID(nameIDs[idx], true)
 	return iso, bestScore, true
 }
 
 // tempProfile builds the single-paper profile of the incoming slot. Its
 // structural view is the star of the paper's co-author names (the
 // radius-1 collaboration neighborhood the new paper establishes).
-func (pl *Pipeline) tempProfile(paper *bib.Paper, idx int) *profile {
+func (pl *Pipeline) tempProfile(paper *bib.Paper, idx int, nameIDs []intern.ID) *profile {
 	p := pl.sim.buildProfile([]bib.PaperID{paper.ID})
 	p.wl = starFeatures(paper, idx, pl.Cfg.WLIterations)
 	p.degree = len(paper.Authors) - 1
-	p.triangles = map[[2]string]struct{}{}
-	names := make([]string, 0, len(paper.Authors)-1)
-	for i, n := range paper.Authors {
+	p.triangles = map[namePair]struct{}{}
+	others := make([]intern.ID, 0, len(nameIDs)-1)
+	for i, nid := range nameIDs {
 		if i != idx {
-			names = append(names, n)
+			others = append(others, nid)
 		}
 	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			a, b := names[i], names[j]
-			if a > b {
-				a, b = b, a
-			}
-			p.triangles[[2]string{a, b}] = struct{}{}
+	for i := 0; i < len(others); i++ {
+		for j := i + 1; j < len(others); j++ {
+			p.triangles[makeNamePair(others[i], others[j])] = struct{}{}
 		}
 	}
 	return p

@@ -6,6 +6,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/graph"
+	"iuad/internal/intern"
 )
 
 // Slot identifies one author occurrence: the Index-th name in the
@@ -19,8 +20,11 @@ type Slot struct {
 // Vertex is a conjectured author in the SCN/GCN: a name plus the set of
 // papers attributed to that author so far.
 type Vertex struct {
-	ID   int
-	Name string
+	ID int
+	// NameID is the interned author name (the hot-path key); Name is its
+	// string form, kept at the API boundary for callers and reports.
+	NameID intern.ID
+	Name   string
 	// Papers is sorted ascending and duplicate-free.
 	Papers []bib.PaperID
 	// Isolated marks stage-1 vertices not covered by any stable relation.
@@ -34,8 +38,13 @@ type Network struct {
 	Corpus *bib.Corpus
 	Verts  []Vertex
 	G      *graph.Graph
-	// ByName maps a name to the IDs of its vertices, ascending.
-	ByName map[string][]int
+	// names is the corpus author-name table (shared, grown only by the
+	// incremental path).
+	names *intern.Table
+	// byName maps an interned name to the IDs of its vertices, ascending.
+	// For frozen corpus names, ascending index order is lexicographic
+	// name order (intern.Build assigns sorted ranks).
+	byName [][]int
 	// SlotVertex maps every author slot to its vertex.
 	SlotVertex map[Slot]int
 	// EdgePapers maps a (lo,hi) vertex pair to the papers their authors
@@ -47,17 +56,27 @@ func newNetwork(corpus *bib.Corpus) *Network {
 	return &Network{
 		Corpus:     corpus,
 		G:          graph.New(0),
-		ByName:     make(map[string][]int),
+		names:      corpus.NameTable(),
+		byName:     make([][]int, corpus.NameTable().Len()),
 		SlotVertex: make(map[Slot]int),
 		EdgePapers: make(map[[2]int][]bib.PaperID),
 	}
 }
 
-// addVertex creates a vertex for name and returns its ID.
+// addVertex creates a vertex for name and returns its ID. Prefer
+// addVertexID on paths that already hold the interned name.
 func (n *Network) addVertex(name string, isolated bool) int {
+	return n.addVertexID(n.names.Intern(name), isolated)
+}
+
+// addVertexID creates a vertex for the interned name nid.
+func (n *Network) addVertexID(nid intern.ID, isolated bool) int {
 	id := n.G.AddVertex()
-	n.Verts = append(n.Verts, Vertex{ID: id, Name: name, Isolated: isolated})
-	n.ByName[name] = append(n.ByName[name], id)
+	n.Verts = append(n.Verts, Vertex{ID: id, NameID: nid, Name: n.names.String(nid), Isolated: isolated})
+	for int(nid) >= len(n.byName) {
+		n.byName = append(n.byName, nil)
+	}
+	n.byName[nid] = append(n.byName[nid], id)
 	return id
 }
 
@@ -120,7 +139,21 @@ func (n *Network) VertexCount() int { return len(n.Verts) }
 func (n *Network) EdgeCount() int { return n.G.NumEdges() }
 
 // VerticesOf returns the vertex IDs carrying name.
-func (n *Network) VerticesOf(name string) []int { return n.ByName[name] }
+func (n *Network) VerticesOf(name string) []int {
+	id, ok := n.names.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return n.VerticesOfID(id)
+}
+
+// VerticesOfID returns the vertex IDs carrying the interned name id.
+func (n *Network) VerticesOfID(id intern.ID) []int {
+	if id < 0 || int(id) >= len(n.byName) {
+		return nil
+	}
+	return n.byName[id]
+}
 
 // ClusterOfSlot returns the vertex assigned to slot, or -1.
 func (n *Network) ClusterOfSlot(s Slot) int {
@@ -133,14 +166,18 @@ func (n *Network) ClusterOfSlot(s Slot) int {
 // Validate checks internal consistency; it is used by tests and the
 // property suite, not by the hot path.
 func (n *Network) Validate() error {
-	for name, ids := range n.ByName {
+	for nid, ids := range n.byName {
 		for _, id := range ids {
 			if id < 0 || id >= len(n.Verts) {
-				return fmt.Errorf("core: ByName[%q] has bad id %d", name, id)
+				return fmt.Errorf("core: byName[%d] has bad id %d", nid, id)
 			}
-			if n.Verts[id].Name != name {
-				return fmt.Errorf("core: vertex %d named %q listed under %q",
-					id, n.Verts[id].Name, name)
+			if n.Verts[id].NameID != intern.ID(nid) {
+				return fmt.Errorf("core: vertex %d named %q listed under name id %d",
+					id, n.Verts[id].Name, nid)
+			}
+			if n.Verts[id].Name != n.names.String(intern.ID(nid)) {
+				return fmt.Errorf("core: vertex %d name %q disagrees with table %q",
+					id, n.Verts[id].Name, n.names.String(intern.ID(nid)))
 			}
 		}
 	}

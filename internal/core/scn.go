@@ -4,12 +4,30 @@ import (
 	"sort"
 
 	"iuad/internal/bib"
-	"iuad/internal/fpgrowth"
+	"iuad/internal/intern"
 	"iuad/internal/sched"
 )
 
+// namePair is an unordered interned-name pair with A < B. For frozen
+// corpus names (the only names stage 1 sees), numeric ID order equals
+// lexicographic name order, so sorting namePairs reproduces the former
+// string-pair ordering exactly.
+type namePair struct{ A, B intern.ID }
+
+func makeNamePair(a, b intern.ID) namePair {
+	if b < a {
+		a, b = b, a
+	}
+	return namePair{a, b}
+}
+
 // BuildSCN runs stage 1 (§IV): mine η-SCRs from the co-author lists and
 // construct the stable collaboration network.
+//
+// Mining counts 2-itemsets directly over the interned author-ID columns
+// (the FP-growth specialization of package fpgrowth, minus the string
+// hashing: co-author lists are duplicate-free by Paper.Validate, so
+// plain pair counting over int32 IDs is exact).
 //
 // Insertion follows the running example of Fig. 4: a stable pair (a,b)
 // reuses an existing vertex named a only when a stable triangle supports
@@ -26,33 +44,53 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	txs := make([][]string, corpus.Len())
-	for i := 0; i < corpus.Len(); i++ {
-		txs[i] = corpus.Paper(bib.PaperID(i)).Authors
-	}
-	scrs := fpgrowth.FrequentPairs(txs, cfg.Eta)
-
-	// Papers per stable pair. The corpus scan is sharded over contiguous
-	// paper ranges (one counter map per worker); merging the shards in
-	// range order keeps every per-pair paper list in ascending paper
-	// order — exactly the serial scan's output.
-	shards := sched.MapChunks(cfg.workers(), corpus.Len(),
-		func(lo, hi int) map[fpgrowth.Pair][]bib.PaperID {
-			local := make(map[fpgrowth.Pair][]bib.PaperID)
+	// Support counting, sharded over contiguous paper ranges (one counter
+	// map per worker), then reduced.
+	countShards := sched.MapChunks(cfg.workers(), corpus.Len(),
+		func(lo, hi int) map[namePair]int {
+			local := make(map[namePair]int)
 			for i := lo; i < hi; i++ {
-				p := corpus.Paper(bib.PaperID(i))
-				for x := 0; x < len(p.Authors); x++ {
-					for y := x + 1; y < len(p.Authors); y++ {
-						key := fpgrowth.MakePair(p.Authors[x], p.Authors[y])
+				ids := corpus.AuthorIDs(bib.PaperID(i))
+				for x := 0; x < len(ids); x++ {
+					for y := x + 1; y < len(ids); y++ {
+						local[makeNamePair(ids[x], ids[y])]++
+					}
+				}
+			}
+			return local
+		})
+	scrs := make(map[namePair]int)
+	for _, shard := range countShards {
+		for key, c := range shard {
+			scrs[key] += c
+		}
+	}
+	for key, c := range scrs {
+		if c < cfg.Eta {
+			delete(scrs, key)
+		}
+	}
+
+	// Papers per stable pair. Merging the shards in range order keeps
+	// every per-pair paper list in ascending paper order — exactly the
+	// serial scan's output.
+	shards := sched.MapChunks(cfg.workers(), corpus.Len(),
+		func(lo, hi int) map[namePair][]bib.PaperID {
+			local := make(map[namePair][]bib.PaperID)
+			for i := lo; i < hi; i++ {
+				ids := corpus.AuthorIDs(bib.PaperID(i))
+				for x := 0; x < len(ids); x++ {
+					for y := x + 1; y < len(ids); y++ {
+						key := makeNamePair(ids[x], ids[y])
 						if _, stable := scrs[key]; stable {
-							local[key] = append(local[key], p.ID)
+							local[key] = append(local[key], bib.PaperID(i))
 						}
 					}
 				}
 			}
 			return local
 		})
-	pairPapers := make(map[fpgrowth.Pair][]bib.PaperID, len(scrs))
+	pairPapers := make(map[namePair][]bib.PaperID, len(scrs))
 	for _, shard := range shards {
 		for key, ids := range shard {
 			pairPapers[key] = append(pairPapers[key], ids...)
@@ -62,7 +100,7 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 	// Deterministic insertion order: support descending, then name order.
 	// Processing high-support relations first anchors the network on the
 	// strongest evidence before weaker relations choose attachments.
-	ordered := make([]fpgrowth.Pair, 0, len(scrs))
+	ordered := make([]namePair, 0, len(scrs))
 	for pr := range scrs {
 		ordered = append(ordered, pr)
 	}
@@ -78,14 +116,14 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 	})
 
 	n := newNetwork(corpus)
-	attach := func(name, other string) int {
-		for _, id := range n.ByName[name] {
+	attach := func(nid, other intern.ID) int {
+		for _, id := range n.VerticesOfID(nid) {
 			support := false
 			n.G.VisitNeighbors(id, func(u int) {
 				if support {
 					return
 				}
-				if _, ok := scrs[fpgrowth.MakePair(n.Verts[u].Name, other)]; ok {
+				if _, ok := scrs[makeNamePair(n.Verts[u].NameID, other)]; ok {
 					support = true
 				}
 			})
@@ -93,7 +131,7 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 				return id
 			}
 		}
-		return n.addVertex(name, false)
+		return n.addVertexID(nid, false)
 	}
 	for _, pr := range ordered {
 		va := attach(pr.A, pr.B)
@@ -116,10 +154,10 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 	ownerShards := sched.MapChunks(cfg.workers(), corpus.Len(), func(lo, hi int) []ownerRec {
 		var recs []ownerRec
 		for i := lo; i < hi; i++ {
-			p := corpus.Paper(bib.PaperID(i))
-			for idx, name := range p.Authors {
-				for _, id := range n.ByName[name] {
-					if containsPaper(n.Verts[id].Papers, p.ID) {
+			pid := bib.PaperID(i)
+			for idx, nid := range corpus.AuthorIDs(pid) {
+				for _, id := range n.VerticesOfID(nid) {
+					if containsPaper(n.Verts[id].Papers, pid) {
 						recs = append(recs, ownerRec{int32(i), int32(idx), int32(id)})
 					}
 				}
@@ -139,13 +177,13 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 		return nil
 	}
 	for i := 0; i < corpus.Len(); i++ {
-		p := corpus.Paper(bib.PaperID(i))
-		for idx, name := range p.Authors {
-			slot := Slot{Paper: p.ID, Index: idx}
+		pid := bib.PaperID(i)
+		for idx, nid := range corpus.AuthorIDs(pid) {
+			slot := Slot{Paper: pid, Index: idx}
 			r := peek()
 			if r == nil || r.paper != int32(i) || r.idx != int32(idx) {
-				iso := n.addVertex(name, true)
-				n.Verts[iso].Papers = []bib.PaperID{p.ID}
+				iso := n.addVertexID(nid, true)
+				n.Verts[iso].Papers = []bib.PaperID{pid}
 				n.SlotVertex[slot] = iso
 				continue
 			}
@@ -183,7 +221,7 @@ func (n *Network) contract(find func(int) int) *Network {
 	for old := range n.Verts {
 		root := find(old)
 		if remap[root] == -1 {
-			remap[root] = out.addVertex(n.Verts[root].Name, true)
+			remap[root] = out.addVertexID(n.Verts[root].NameID, true)
 		}
 		remap[old] = remap[root]
 	}

@@ -5,42 +5,53 @@ import (
 	"sort"
 
 	"iuad/internal/bib"
+	"iuad/internal/intern"
 	"iuad/internal/sched"
 	"iuad/internal/textvec"
 	"iuad/internal/wlkernel"
 )
 
-// paperSource resolves papers and corpus-level frequencies. The batch
-// pipeline uses the frozen corpus directly; the incremental pipeline
-// additionally resolves newly streamed papers.
+// paperSource resolves per-paper columnar attributes and corpus-level
+// frequencies, keyed by interned IDs. The batch pipeline reads the
+// frozen corpus directly; the incremental pipeline additionally resolves
+// newly streamed papers (whose symbols may be interned past the frozen
+// table range).
 type paperSource interface {
-	PaperByID(bib.PaperID) *bib.Paper
-	WordFrequency(string) int
-	VenueFrequency(string) int
+	keywordIDs(bib.PaperID) []intern.ID
+	venueIDOf(bib.PaperID) intern.ID
+	yearOf(bib.PaperID) int
+	wordFreqID(intern.ID) int
+	venueFreqID(intern.ID) int
 }
 
 // corpusSource adapts *bib.Corpus to paperSource.
 type corpusSource struct{ c *bib.Corpus }
 
-func (s corpusSource) PaperByID(id bib.PaperID) *bib.Paper { return s.c.Paper(id) }
-func (s corpusSource) WordFrequency(w string) int          { return s.c.WordFrequency(w) }
-func (s corpusSource) VenueFrequency(v string) int         { return s.c.VenueFrequency(v) }
+func (s corpusSource) keywordIDs(id bib.PaperID) []intern.ID { return s.c.KeywordIDs(id) }
+func (s corpusSource) venueIDOf(id bib.PaperID) intern.ID    { return s.c.VenueIDOf(id) }
+func (s corpusSource) yearOf(id bib.PaperID) int             { return s.c.Paper(id).Year }
+func (s corpusSource) wordFreqID(id intern.ID) int           { return s.c.WordFrequencyID(id) }
+func (s corpusSource) venueFreqID(id intern.ID) int          { return s.c.VenueFrequencyID(id) }
 
 // profile caches the per-vertex aggregates the six similarity functions
-// consume (§V-B).
+// consume (§V-B). All keys are interned IDs; the former string-keyed
+// maps hashed every venue/keyword on every profile build.
 type profile struct {
 	paperCount int
-	// venues is the multiset H(v); venueList its sorted key list (the
-	// deterministic iteration order for float reductions — map order
-	// would make γ⁶ vary in the last ulp between calls); topVenue its
-	// most frequent element (ties broken lexicographically).
-	venues    map[string]int
-	venueList []string
-	topVenue  string
-	// wordYears maps each title keyword to the sorted years it was used;
-	// wordList is its sorted key list (deterministic γ⁴ sum order).
-	wordYears map[string][]int
-	wordList  []string
+	// venues is the multiset H(v); venueList its key list sorted in
+	// lexicographic *symbol* order (the deterministic iteration order for
+	// float reductions — map order would make γ⁶ vary in the last ulp
+	// between calls; for frozen symbols this is plain ascending-ID
+	// order); topVenue its most frequent element (ties broken
+	// lexicographically), or intern.None when the vertex has no venues.
+	venues    map[intern.ID]int
+	venueList []intern.ID
+	topVenue  intern.ID
+	// wordYears maps each title-keyword ID to the sorted years it was
+	// used; wordList is its key list in lexicographic symbol order
+	// (deterministic γ⁴ sum order).
+	wordYears map[intern.ID][]int
+	wordList  []intern.ID
 	// centroid is W(v), the mean keyword vector (nil if no keyword is in
 	// vocabulary).
 	centroid []float64
@@ -50,10 +61,10 @@ type profile struct {
 	// treats it as "no evidence" rather than "identical subgraph".
 	wl     map[uint64]int
 	degree int
-	// triangles is the set of co-author name pairs forming stable
+	// triangles is the set of co-author name-ID pairs forming stable
 	// triangles with this vertex (the clique list L(v) of Eq. 5,
 	// restricted to triangles as in the paper).
-	triangles map[[2]string]struct{}
+	triangles map[namePair]struct{}
 }
 
 // similarityComputer evaluates γ¹..γ⁶ over a network, caching profiles.
@@ -63,16 +74,86 @@ type similarityComputer struct {
 	emb   *textvec.Embeddings
 	cfg   *Config
 	cache map[int]*profile
+
+	// Symbol tables of the underlying corpus, shared by every layer.
+	nameTab  *intern.Table
+	venueTab *intern.Table
+	wordTab  *intern.Table
+	// wlLabels caches the WL initial label (FNV hash) per interned name,
+	// computed once instead of per ego-subgraph vertex. Read-only after
+	// construction, so concurrent profile builds may index it freely;
+	// names interned later fall back to hashing on the fly.
+	wlLabels []uint64
+	// embRows maps each interned title token to its embedding-vocabulary
+	// row (-1 = out of vocabulary). Same read-only contract as wlLabels.
+	embRows []int32
+}
+
+// symbolCaches holds the per-symbol lookup tables (WL label hashes per
+// name, embedding rows per token). BuildGCN builds them once and shares
+// them through Config across every similarityComputer of the run
+// (initial scoring, vertex-split fitting, refine rounds, the final
+// incremental computer) — the tables' frozen prefixes never change, so
+// one O(vocabulary) pass suffices instead of one per construction.
+type symbolCaches struct {
+	wlLabels []uint64
+	embRows  []int32
+}
+
+func buildSymbolCaches(corpus *bib.Corpus, emb *textvec.Embeddings) *symbolCaches {
+	names, words := corpus.NameTable(), corpus.WordTable()
+	c := &symbolCaches{wlLabels: make([]uint64, names.Len())}
+	for i := range c.wlLabels {
+		c.wlLabels[i] = wlkernel.HashLabel(names.String(intern.ID(i)))
+	}
+	if emb != nil {
+		c.embRows = make([]int32, words.Len())
+		for i := range c.embRows {
+			c.embRows[i] = emb.RowOf(words.String(intern.ID(i)))
+		}
+	}
+	return c
 }
 
 func newSimilarityComputer(net *Network, src paperSource, emb *textvec.Embeddings, cfg *Config) *similarityComputer {
-	return &similarityComputer{
-		net:   net,
-		src:   src,
-		emb:   emb,
-		cfg:   cfg,
-		cache: make(map[int]*profile),
+	sc := &similarityComputer{
+		net:      net,
+		src:      src,
+		emb:      emb,
+		cfg:      cfg,
+		cache:    make(map[int]*profile),
+		nameTab:  net.Corpus.NameTable(),
+		venueTab: net.Corpus.VenueTable(),
+		wordTab:  net.Corpus.WordTable(),
 	}
+	caches := cfg.symCache
+	if caches == nil {
+		caches = buildSymbolCaches(net.Corpus, emb)
+	}
+	sc.wlLabels = caches.wlLabels
+	if emb != nil {
+		sc.embRows = caches.embRows
+	}
+	return sc
+}
+
+// wlLabel returns the WL initial label of the interned name nid.
+func (sc *similarityComputer) wlLabel(nid intern.ID) uint64 {
+	if int(nid) < len(sc.wlLabels) {
+		return sc.wlLabels[nid]
+	}
+	return wlkernel.HashLabel(sc.nameTab.String(nid))
+}
+
+// embRow resolves a token ID to its embedding row (-1 = OOV).
+func (sc *similarityComputer) embRow(w intern.ID) int32 {
+	if int(w) < len(sc.embRows) {
+		return sc.embRows[w]
+	}
+	// A token interned after this computer was built cannot be in the
+	// embedding vocabulary (embeddings are trained on the frozen corpus),
+	// but resolve through the string path for correctness.
+	return sc.emb.RowOf(sc.wordTab.String(w))
 }
 
 // invalidate drops the cached profile of vertex v (incremental updates).
@@ -93,7 +174,7 @@ func (sc *similarityComputer) profileOf(v int) *profile {
 func (sc *similarityComputer) buildVertexProfile(v int) *profile {
 	p := sc.buildProfile(sc.net.Verts[v].Papers)
 	p.wl = wlkernel.SubgraphFeatures(sc.net.G, v, sc.cfg.WLIterations,
-		func(u int) uint64 { return wlkernel.HashLabel(sc.net.Verts[u].Name) })
+		func(u int) uint64 { return sc.wlLabel(sc.net.Verts[u].NameID) })
 	p.degree = sc.net.G.Degree(v)
 	p.triangles = sc.triangleNamePairs(v)
 	return p
@@ -142,34 +223,38 @@ func (sc *similarityComputer) mustProfile(v int) *profile {
 func (sc *similarityComputer) buildProfile(papers []bib.PaperID) *profile {
 	p := &profile{
 		paperCount: len(papers),
-		venues:     make(map[string]int),
-		wordYears:  make(map[string][]int),
+		venues:     make(map[intern.ID]int),
+		wordYears:  make(map[intern.ID][]int),
 	}
-	var keywords []string
+	var kwRows []int32 // in-vocabulary keyword rows, occurrence order
 	for _, id := range papers {
-		paper := sc.src.PaperByID(id)
-		if paper.Venue != "" {
-			p.venues[paper.Venue]++
+		if vid := sc.src.venueIDOf(id); vid != intern.None {
+			p.venues[vid]++
 		}
-		for _, w := range bib.Keywords(paper.Title) {
-			p.wordYears[w] = append(p.wordYears[w], paper.Year)
-			keywords = append(keywords, w)
+		year := sc.src.yearOf(id)
+		for _, w := range sc.src.keywordIDs(id) {
+			p.wordYears[w] = append(p.wordYears[w], year)
+			if sc.emb != nil {
+				if r := sc.embRow(w); r >= 0 {
+					kwRows = append(kwRows, r)
+				}
+			}
 		}
 	}
-	p.wordList = make([]string, 0, len(p.wordYears))
+	p.wordList = make([]intern.ID, 0, len(p.wordYears))
 	for w, years := range p.wordYears {
 		sort.Ints(years)
 		p.wordList = append(p.wordList, w)
 	}
-	sort.Strings(p.wordList)
-	p.venueList = make([]string, 0, len(p.venues))
+	sc.wordTab.Sort(p.wordList)
+	p.venueList = make([]intern.ID, 0, len(p.venues))
 	for v := range p.venues {
 		p.venueList = append(p.venueList, v)
 	}
-	sort.Strings(p.venueList)
-	best, bestCount := "", -1
+	sc.venueTab.Sort(p.venueList)
+	best, bestCount := intern.None, -1
 	for v, c := range p.venues {
-		if c > bestCount || (c == bestCount && v < best) {
+		if c > bestCount || (c == bestCount && sc.venueTab.Less(v, best)) {
 			best, bestCount = v, c
 		}
 	}
@@ -177,29 +262,26 @@ func (sc *similarityComputer) buildProfile(papers []bib.PaperID) *profile {
 	if sc.emb != nil {
 		// Mean-centered centroids: raw SGNS centroids share a large
 		// common direction and saturate cosine near 1 for all pairs.
-		p.centroid = sc.emb.CenteredCentroid(keywords)
+		p.centroid = sc.emb.CenteredCentroidRows(kwRows)
 	}
 	return p
 }
 
-// triangleNamePairs lists the name pairs {name(u), name(w)} of all stable
-// triangles (v,u,w) in the network.
-func (sc *similarityComputer) triangleNamePairs(v int) map[[2]string]struct{} {
-	out := make(map[[2]string]struct{})
+// triangleNamePairs lists the name-ID pairs {name(u), name(w)} of all
+// stable triangles (v,u,w) in the network.
+func (sc *similarityComputer) triangleNamePairs(v int) map[namePair]struct{} {
+	out := make(map[namePair]struct{})
 	for _, tri := range sc.net.G.TrianglesOf(v) {
-		others := make([]string, 0, 2)
+		others := make([]intern.ID, 0, 2)
 		for _, x := range []int{tri.A, tri.B, tri.C} {
 			if x != v {
-				others = append(others, sc.net.Verts[x].Name)
+				others = append(others, sc.net.Verts[x].NameID)
 			}
 		}
 		if len(others) != 2 {
 			continue
 		}
-		if others[0] > others[1] {
-			others[0], others[1] = others[1], others[0]
-		}
-		out[[2]string{others[0], others[1]}] = struct{}{}
+		out[makeNamePair(others[0], others[1])] = struct{}{}
 	}
 	return out
 }
@@ -283,7 +365,7 @@ func (sc *similarityComputer) timeConsistency(pi, pj *profile) float64 {
 		if !ok {
 			continue
 		}
-		freq := sc.src.WordFrequency(w)
+		freq := sc.src.wordFreqID(w)
 		if freq < 2 {
 			freq = 2 // guard log(1)=0; co-occurrence implies freq ≥ 2
 		}
@@ -320,7 +402,13 @@ func minYearDiff(a, b []int) int {
 // representativeCommunity is γ⁵ (Eq. 8): how often each vertex publishes
 // in the other's most frequent venue, over τ.
 func representativeCommunity(pi, pj *profile) float64 {
-	s := float64(pj.venues[pi.topVenue] + pi.venues[pj.topVenue])
+	s := 0.0
+	if pi.topVenue != intern.None {
+		s += float64(pj.venues[pi.topVenue])
+	}
+	if pj.topVenue != intern.None {
+		s += float64(pi.venues[pj.topVenue])
+	}
 	return s / tau(pi, pj)
 }
 
@@ -337,7 +425,7 @@ func (sc *similarityComputer) communitySimilarity(pi, pj *profile) float64 {
 		if _, ok := large.venues[h]; !ok {
 			continue
 		}
-		freq := sc.src.VenueFrequency(h)
+		freq := sc.src.venueFreqID(h)
 		if freq < 2 {
 			freq = 2
 		}

@@ -1,0 +1,97 @@
+package emfit
+
+import (
+	"fmt"
+
+	"iuad/internal/snapshot"
+)
+
+// EncodeSnapshot writes a fitted model: feature specs, the mixing
+// weight and fit diagnostics, and the per-feature matched/unmatched
+// components with their exact parameter bit patterns.
+func (m *Model) EncodeSnapshot(w *snapshot.Writer) {
+	w.Int(len(m.Specs))
+	for _, s := range m.Specs {
+		w.String(s.Name)
+		w.Int(int(s.Family))
+		w.F64s(s.Bins)
+	}
+	w.F64(m.P)
+	w.F64(m.LogLikelihood)
+	w.Int(m.Iterations)
+	encodeComponents(w, m.matched)
+	encodeComponents(w, m.unmatched)
+}
+
+func encodeComponents(w *snapshot.Writer, cs []component) {
+	w.Int(len(cs))
+	for i := range cs {
+		c := &cs[i]
+		w.Int(int(c.family))
+		w.F64(c.mu)
+		w.F64(c.sigma2)
+		w.F64(c.lambda)
+		w.F64(c.logPi0)
+		w.F64(c.logPi1)
+		w.F64s(c.logp)
+	}
+}
+
+// DecodeModelSnapshot reads a model written by EncodeSnapshot.
+func DecodeModelSnapshot(r *snapshot.Reader) (*Model, error) {
+	ns := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// A model never has more than a handful of features; anything larger
+	// is stream corruption, not data.
+	const maxSpecs = 1 << 10
+	if ns < 0 || ns > maxSpecs {
+		return nil, fmt.Errorf("emfit: snapshot has %d specs", ns)
+	}
+	m := &Model{Specs: make([]FeatureSpec, ns)}
+	for i := range m.Specs {
+		m.Specs[i].Name = r.String()
+		m.Specs[i].Family = Family(r.Int())
+		m.Specs[i].Bins = r.F64s()
+	}
+	m.P = r.F64()
+	m.LogLikelihood = r.F64()
+	m.Iterations = r.Int()
+	var err error
+	if m.matched, err = decodeComponents(r, m.Specs); err != nil {
+		return nil, err
+	}
+	if m.unmatched, err = decodeComponents(r, m.Specs); err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeComponents(r *snapshot.Reader, specs []FeatureSpec) ([]component, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n != len(specs) {
+		return nil, fmt.Errorf("emfit: snapshot has %d components for %d specs", n, len(specs))
+	}
+	cs := make([]component, n)
+	for i := range cs {
+		c := &cs[i]
+		c.family = Family(r.Int())
+		c.mu = r.F64()
+		c.sigma2 = r.F64()
+		c.lambda = r.F64()
+		c.logPi0 = r.F64()
+		c.logPi1 = r.F64()
+		c.logp = r.F64s()
+		// Bin edges are shared with the spec, exactly as fitComponent
+		// builds them.
+		c.bins = specs[i].Bins
+	}
+	return cs, nil
+}

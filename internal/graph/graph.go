@@ -1,12 +1,17 @@
 // Package graph implements the undirected-graph substrate used across the
-// repository: adjacency-set storage with O(1) edge tests, connected
-// components, per-vertex triangle listing (the clique lists of §V-B1),
-// bounded-radius ego subgraphs (for the Weisfeiler–Lehman kernel of γ¹),
-// random walks (for DeepWalk-style baseline embeddings), and degree
-// statistics (for the scale-free analyses of §IV-A).
+// repository: sorted adjacency-slice storage with O(log d) edge tests,
+// connected components, per-vertex triangle listing (the clique lists of
+// §V-B1), bounded-radius ego subgraphs (for the Weisfeiler–Lehman kernel
+// of γ¹), random walks (for DeepWalk-style baseline embeddings), and
+// degree statistics (for the scale-free analyses of §IV-A).
 //
 // Vertices are dense int indexes, so callers keep their own mapping from
-// domain objects (authors, papers) to vertex IDs.
+// domain objects (authors, papers) to vertex IDs. Adjacency is stored as
+// sorted int32 slices (CSR-style neighbor lists) rather than hash sets:
+// collaboration networks have small degrees, so binary-search edge tests
+// beat map lookups, neighbor iteration is allocation-free and always in
+// ascending order, and a million-vertex network costs a few bytes per
+// edge instead of a map header per vertex.
 package graph
 
 import (
@@ -18,13 +23,13 @@ import (
 // Graph is a mutable undirected simple graph. Self-loops and parallel
 // edges are rejected. The zero value is an empty graph.
 type Graph struct {
-	adj   []map[int32]struct{}
+	adj   [][]int32 // sorted ascending neighbor lists
 	edges int
 }
 
 // New returns a graph with n initial vertices (0..n-1).
 func New(n int) *Graph {
-	g := &Graph{adj: make([]map[int32]struct{}, n)}
+	g := &Graph{adj: make([][]int32, n)}
 	return g
 }
 
@@ -40,6 +45,19 @@ func (g *Graph) NumVertices() int { return len(g.adj) }
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return g.edges }
 
+// insertSorted inserts x into the sorted list, reporting whether it was
+// absent.
+func insertSorted(list []int32, x int32) ([]int32, bool) {
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= x })
+	if i < len(list) && list[i] == x {
+		return list, false
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = x
+	return list, true
+}
+
 // AddEdge inserts edge {u,v}. It reports whether the edge is new, and
 // panics on out-of-range vertices or self-loops (programming errors).
 func (g *Graph) AddEdge(u, v int) bool {
@@ -48,17 +66,11 @@ func (g *Graph) AddEdge(u, v int) bool {
 	}
 	g.check(u)
 	g.check(v)
-	if g.adj[u] == nil {
-		g.adj[u] = make(map[int32]struct{}, 4)
-	}
-	if _, ok := g.adj[u][int32(v)]; ok {
+	var fresh bool
+	if g.adj[u], fresh = insertSorted(g.adj[u], int32(v)); !fresh {
 		return false
 	}
-	if g.adj[v] == nil {
-		g.adj[v] = make(map[int32]struct{}, 4)
-	}
-	g.adj[u][int32(v)] = struct{}{}
-	g.adj[v][int32(u)] = struct{}{}
+	g.adj[v], _ = insertSorted(g.adj[v], int32(u))
 	g.edges++
 	return true
 }
@@ -68,8 +80,9 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
 		return false
 	}
-	_, ok := g.adj[u][int32(v)]
-	return ok
+	a := g.adj[u]
+	i := sort.Search(len(a), func(k int) bool { return a[k] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
 }
 
 // Degree returns the degree of v.
@@ -82,18 +95,17 @@ func (g *Graph) Degree(v int) int {
 // allocated.
 func (g *Graph) Neighbors(v int) []int {
 	g.check(v)
-	out := make([]int, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, int(u))
+	out := make([]int, len(g.adj[v]))
+	for i, u := range g.adj[v] {
+		out[i] = int(u)
 	}
-	sort.Ints(out)
 	return out
 }
 
-// VisitNeighbors calls fn for each neighbor of v in unspecified order.
+// VisitNeighbors calls fn for each neighbor of v in ascending order.
 func (g *Graph) VisitNeighbors(v int, fn func(u int)) {
 	g.check(v)
-	for u := range g.adj[v] {
+	for _, u := range g.adj[v] {
 		fn(int(u))
 	}
 }
@@ -121,7 +133,7 @@ func (g *Graph) Components() (comp []int, count int) {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for u := range g.adj[v] {
+			for _, u := range g.adj[v] {
 				if comp[u] == -1 {
 					comp[u] = count
 					stack = append(stack, int(u))
@@ -141,12 +153,12 @@ type Triangle struct{ A, B, C int }
 // triangles for tractability, and so do we.
 func (g *Graph) TrianglesOf(v int) []Triangle {
 	g.check(v)
-	nbrs := g.Neighbors(v)
+	nbrs := g.adj[v]
 	var out []Triangle
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if g.HasEdge(nbrs[i], nbrs[j]) {
-				tri := normTriangle(v, nbrs[i], nbrs[j])
+			if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+				tri := normTriangle(v, int(nbrs[i]), int(nbrs[j]))
 				out = append(out, tri)
 			}
 		}
@@ -190,7 +202,7 @@ func (g *Graph) CountTriangles() int {
 	}
 	fwd := make([][]int32, n)
 	for v := range g.adj {
-		for u := range g.adj[v] {
+		for _, u := range g.adj[v] {
 			if rank[int(u)] > rank[v] {
 				fwd[v] = append(fwd[v], u)
 			}
@@ -218,7 +230,8 @@ func (g *Graph) CountTriangles() int {
 
 // Ego returns the induced subgraph of all vertices within the given hop
 // radius of center, plus the mapping local→original ID (mapping[0] is
-// center). Radius 0 yields just the center.
+// center). Radius 0 yields just the center. Discovery is breadth-first
+// in ascending neighbor order, so the local IDs are deterministic.
 func (g *Graph) Ego(center, radius int) (*Graph, []int) {
 	g.check(center)
 	dist := map[int]int{center: 0}
@@ -227,7 +240,7 @@ func (g *Graph) Ego(center, radius int) (*Graph, []int) {
 	for d := 0; d < radius; d++ {
 		var next []int
 		for _, v := range frontier {
-			for u := range g.adj[v] {
+			for _, u := range g.adj[v] {
 				if _, seen := dist[int(u)]; !seen {
 					dist[int(u)] = d + 1
 					next = append(next, int(u))
@@ -243,7 +256,7 @@ func (g *Graph) Ego(center, radius int) (*Graph, []int) {
 	}
 	sub := New(len(order))
 	for _, v := range order {
-		for u := range g.adj[v] {
+		for _, u := range g.adj[v] {
 			lu, ok := local[int(u)]
 			if !ok {
 				continue
@@ -266,14 +279,12 @@ func (g *Graph) RandomWalk(start, length int, rng *rand.Rand) []int {
 	path[0] = start
 	cur := start
 	for step := 0; step < length; step++ {
-		deg := len(g.adj[cur])
-		if deg == 0 {
+		nbrs := g.adj[cur]
+		if len(nbrs) == 0 {
 			break
 		}
-		// Sorted neighbor order keeps walks deterministic for a fixed
-		// rng (map iteration order is randomized by the runtime).
-		nbrs := g.Neighbors(cur)
-		cur = nbrs[rng.Intn(len(nbrs))]
+		// Adjacency is sorted, so walks are deterministic for a fixed rng.
+		cur = int(nbrs[rng.Intn(len(nbrs))])
 		path = append(path, cur)
 	}
 	return path
@@ -288,18 +299,23 @@ func (g *Graph) Degrees() []int {
 	return out
 }
 
-// CommonNeighbors returns the number of shared neighbors of u and v.
+// CommonNeighbors returns the number of shared neighbors of u and v,
+// via a linear merge of the two sorted lists.
 func (g *Graph) CommonNeighbors(u, v int) int {
 	g.check(u)
 	g.check(v)
 	a, b := g.adj[u], g.adj[v]
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	n := 0
-	for x := range a {
-		if _, ok := b[x]; ok {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
 			n++
+			i++
+			j++
 		}
 	}
 	return n
@@ -322,7 +338,7 @@ func (g *Graph) ShortestPathLen(u, v, maxDepth int) int {
 		if maxDepth > 0 && d >= maxDepth {
 			continue
 		}
-		for nb := range g.adj[cur] {
+		for _, nb := range g.adj[cur] {
 			n := int(nb)
 			if _, seen := dist[n]; seen {
 				continue
@@ -359,7 +375,7 @@ func (g *Graph) CountPaths(u, v, length, cap int) int {
 			}
 			return
 		}
-		for nb := range g.adj[cur] {
+		for _, nb := range g.adj[cur] {
 			n := int(nb)
 			if visited[n] {
 				continue

@@ -1,0 +1,145 @@
+// Package intern provides deterministic string interning: symbol tables
+// that map strings to dense int32 IDs and back. Every other layer of the
+// pipeline keys its hot paths on these IDs — author names, venues and
+// title tokens are hashed exactly once, at corpus freeze time, instead
+// of millions of times during stage-1 pair counting and stage-2
+// similarity evaluation.
+//
+// Determinism is the load-bearing property. A table built with Build
+// assigns IDs by sorted rank, so for the frozen symbol set
+//
+//	idA < idB  ⇔  stringA < stringB
+//
+// and iterating IDs in ascending order reproduces, bit for bit, the
+// float-summation orders of the previous string-sorted implementation
+// (γ⁴ and γ⁶ sum non-associative floats in sorted-key order). Symbols
+// interned after Build — names, venues or keywords arriving on the
+// incremental AddPaper path — get IDs in arrival order past the frozen
+// range; Less falls back to a string comparison for those, preserving
+// exact lexicographic semantics at a cost paid only by late symbols.
+package intern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is an interned symbol identifier. IDs are dense, starting at 0.
+type ID = int32
+
+// None marks "no symbol" (e.g. a paper without a venue).
+const None ID = -1
+
+// Table maps strings to dense IDs and back. The frozen prefix (the
+// symbols passed to Build) is sorted, so ID order is string order there.
+// A Table is safe for concurrent reads; Intern requires external
+// serialization (in the pipeline it is only called from the
+// single-goroutine AddPaper path).
+type Table struct {
+	strs   []string
+	idx    map[string]ID
+	frozen int
+}
+
+// Build constructs a table over the given symbols (duplicates are fine).
+// IDs are assigned by sorted rank: the lexicographically smallest symbol
+// gets ID 0.
+func Build(symbols []string) *Table {
+	uniq := make(map[string]struct{}, len(symbols))
+	for _, s := range symbols {
+		uniq[s] = struct{}{}
+	}
+	strs := make([]string, 0, len(uniq))
+	for s := range uniq {
+		strs = append(strs, s)
+	}
+	sort.Strings(strs)
+	t := &Table{
+		strs:   strs,
+		idx:    make(map[string]ID, len(strs)),
+		frozen: len(strs),
+	}
+	for i, s := range strs {
+		t.idx[s] = ID(i)
+	}
+	return t
+}
+
+// Lookup returns the ID of s, or (None, false) when s is unknown.
+func (t *Table) Lookup(s string) (ID, bool) {
+	id, ok := t.idx[s]
+	if !ok {
+		return None, false
+	}
+	return id, true
+}
+
+// Intern returns the ID of s, assigning the next free ID when s is new.
+// IDs past the frozen range are in arrival order, not sorted order.
+func (t *Table) Intern(s string) ID {
+	if id, ok := t.idx[s]; ok {
+		return id
+	}
+	id := ID(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.idx[s] = id
+	return id
+}
+
+// String returns the symbol of id. It panics on out-of-range IDs,
+// mirroring slice indexing.
+func (t *Table) String(id ID) string { return t.strs[id] }
+
+// Len returns the number of interned symbols.
+func (t *Table) Len() int { return len(t.strs) }
+
+// FrozenLen returns the size of the sorted prefix built by Build.
+func (t *Table) FrozenLen() int { return t.frozen }
+
+// Strings returns the backing symbol slice, indexed by ID. Callers must
+// not mutate it.
+func (t *Table) Strings() []string { return t.strs }
+
+// Less reports whether symbol a sorts lexicographically before symbol b.
+// Both in the frozen range, this is an integer comparison; otherwise it
+// falls back to comparing the strings.
+func (t *Table) Less(a, b ID) bool {
+	if int(a) < t.frozen && int(b) < t.frozen {
+		return a < b
+	}
+	return t.strs[a] < t.strs[b]
+}
+
+// Sort orders ids lexicographically by their symbols (ascending). When
+// every id is in the frozen range this is a plain integer sort.
+func (t *Table) Sort(ids []ID) {
+	allFrozen := true
+	for _, id := range ids {
+		if int(id) >= t.frozen {
+			allFrozen = false
+			break
+		}
+	}
+	if allFrozen {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool { return t.Less(ids[i], ids[j]) })
+}
+
+// Tail returns the symbols interned after Build, in arrival order — the
+// state a snapshot must persist so replaying it reproduces identical IDs.
+func (t *Table) Tail() []string { return t.strs[t.frozen:] }
+
+// ReplayTail re-interns previously recorded tail symbols in order,
+// reproducing their original IDs. A symbol that is already present
+// signals a snapshot/corpus mismatch and returns an error.
+func (t *Table) ReplayTail(tail []string) error {
+	for _, s := range tail {
+		if _, ok := t.idx[s]; ok {
+			return fmt.Errorf("intern: replay symbol %q already present", s)
+		}
+		t.Intern(s)
+	}
+	return nil
+}

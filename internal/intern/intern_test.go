@@ -1,0 +1,103 @@
+package intern
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBuildSortedRank(t *testing.T) {
+	tb := Build([]string{"cherry", "apple", "banana", "apple", "cherry"})
+	if tb.Len() != 3 || tb.FrozenLen() != 3 {
+		t.Fatalf("len=%d frozen=%d", tb.Len(), tb.FrozenLen())
+	}
+	for want, s := range []string{"apple", "banana", "cherry"} {
+		id, ok := tb.Lookup(s)
+		if !ok || id != ID(want) {
+			t.Fatalf("Lookup(%q)=%d,%v want %d", s, id, ok, want)
+		}
+		if tb.String(ID(want)) != s {
+			t.Fatalf("String(%d)=%q want %q", want, tb.String(ID(want)), s)
+		}
+	}
+	if _, ok := tb.Lookup("durian"); ok {
+		t.Fatal("unknown symbol found")
+	}
+}
+
+func TestInternAppendsAfterFrozen(t *testing.T) {
+	tb := Build([]string{"m"})
+	if id := tb.Intern("m"); id != 0 {
+		t.Fatalf("existing symbol re-interned to %d", id)
+	}
+	a := tb.Intern("z")
+	b := tb.Intern("a") // sorts before everything, but arrives late
+	if a != 1 || b != 2 {
+		t.Fatalf("late IDs %d,%d want 1,2", a, b)
+	}
+	// Less must still follow string order across the frozen boundary.
+	if !tb.Less(b, 0) || !tb.Less(0, a) || tb.Less(a, b) {
+		t.Fatal("Less does not match string order for late symbols")
+	}
+}
+
+func TestSortMatchesStringSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	tb := Build(base)
+	tb.Intern("aardvark")
+	tb.Intern("zulu")
+	ids := make([]ID, tb.Len())
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	tb.Sort(ids)
+	var got []string
+	for _, id := range ids {
+		got = append(got, tb.String(id))
+	}
+	want := append([]string(nil), got...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sort order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTailReplay(t *testing.T) {
+	tb := Build([]string{"x", "y"})
+	tb.Intern("late1")
+	tb.Intern("late0")
+	tail := append([]string(nil), tb.Tail()...)
+
+	fresh := Build([]string{"x", "y"})
+	if err := fresh.ReplayTail(tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ReplayTail([]string{"x"}); err == nil {
+		t.Fatal("replaying a present symbol did not error")
+	}
+	if fresh.Len() != tb.Len() {
+		t.Fatalf("replayed len=%d want %d", fresh.Len(), tb.Len())
+	}
+	for i := 0; i < tb.Len(); i++ {
+		if fresh.String(ID(i)) != tb.String(ID(i)) {
+			t.Fatalf("id %d: %q vs %q", i, fresh.String(ID(i)), tb.String(ID(i)))
+		}
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	in := []string{"q", "c", "b", "q", "a"}
+	t1, t2 := Build(in), Build(append([]string(nil), in...))
+	if t1.Len() != t2.Len() {
+		t.Fatal("nondeterministic Build")
+	}
+	for i := 0; i < t1.Len(); i++ {
+		if t1.String(ID(i)) != t2.String(ID(i)) {
+			t.Fatalf("id %d differs", i)
+		}
+	}
+}

@@ -116,6 +116,44 @@ func (e *Embeddings) CenteredCentroid(words []string) []float64 {
 	return c
 }
 
+// RowOf returns the vocabulary row index of w, or -1 when w is out of
+// vocabulary. Hot paths resolve words to rows once and then use
+// CenteredCentroidRows, skipping the per-word map lookups.
+func (e *Embeddings) RowOf(w string) int32 {
+	if i, ok := e.index[w]; ok {
+		return int32(i)
+	}
+	return -1
+}
+
+// CenteredCentroidRows is CenteredCentroid over pre-resolved vocabulary
+// rows; entries < 0 (out of vocabulary) are skipped. The summation order
+// is the row order, so resolving a word sequence to rows and calling
+// this reproduces CenteredCentroid on that sequence bit for bit.
+func (e *Embeddings) CenteredCentroidRows(rows []int32) []float64 {
+	out := make([]float64, e.dim)
+	n := 0
+	for _, r := range rows {
+		if r < 0 {
+			continue
+		}
+		for i, x := range e.vecs[r] {
+			out[i] += float64(x)
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	for i, m := range e.Mean() {
+		out[i] -= m
+	}
+	return out
+}
+
 // Cosine returns the cosine similarity of two dense vectors; 0 when
 // either is nil or zero.
 func Cosine(a, b []float64) float64 {

@@ -50,6 +50,23 @@
 //	cfg := iuad.DefaultConfig()
 //	cfg.Workers = 8 // identical results to cfg.Workers = 1, just faster
 //
+// # Snapshots
+//
+// A fitted pipeline can be serialized as a versioned binary snapshot
+// and restored without re-running EM — the serving path for a process
+// that must answer AddPaper immediately after a restart:
+//
+//	var buf bytes.Buffer
+//	if err := iuad.SavePipeline(&buf, pipeline); err != nil { ... }
+//	restored, err := iuad.LoadPipeline(&buf)
+//	// restored.AddPaper(...) is bit-identical to pipeline.AddPaper(...)
+//
+// Internally all hot paths run on interned integer IDs (author names,
+// venues and title tokens are hashed exactly once, at Corpus.Freeze);
+// the string-based Paper type is the API boundary only. See DESIGN.md
+// §4-§6 for the columnar core, the parallel engine and the snapshot
+// format.
+//
 // See the examples/ directory for runnable programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured
 // reproduction results.
@@ -57,6 +74,7 @@ package iuad
 
 import (
 	"io"
+	"os"
 
 	"iuad/internal/bib"
 	"iuad/internal/core"
@@ -154,6 +172,40 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // frozen corpus.
 func Disambiguate(corpus *Corpus, cfg Config) (*Pipeline, error) {
 	return core.Run(corpus, cfg)
+}
+
+// SavePipeline serializes a fitted pipeline as a versioned binary
+// snapshot: the corpus, interned symbol tables, keyword embeddings, the
+// SCN and GCN, the fitted generative model, the calibrated threshold,
+// and any incrementally streamed papers. A restarted server loads the
+// snapshot and answers AddPaper immediately — no EM re-run — with
+// assignments bit-identical to the pipeline that never stopped.
+func SavePipeline(w io.Writer, pl *Pipeline) error { return core.SavePipeline(w, pl) }
+
+// LoadPipeline reconstructs a pipeline saved by SavePipeline.
+func LoadPipeline(r io.Reader) (*Pipeline, error) { return core.LoadPipeline(r) }
+
+// SavePipelineFile writes a pipeline snapshot to path.
+func SavePipelineFile(path string, pl *Pipeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SavePipeline(f, pl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPipelineFile reads a pipeline snapshot from path.
+func LoadPipelineFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadPipeline(f)
 }
 
 // BuildSCN runs only stage 1 (useful to inspect the high-precision

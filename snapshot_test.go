@@ -1,0 +1,247 @@
+package iuad_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"iuad"
+)
+
+// streamProbes builds a deterministic mix of incremental papers: known
+// authors, brand-new co-authors, known and never-seen venues, titles
+// with out-of-corpus keywords — every symbol path of the interned
+// tables.
+func streamProbes(d *iuad.SyntheticDataset, phase string, n int) []iuad.Paper {
+	var out []iuad.Paper
+	for k := 0; k < n; k++ {
+		p0 := d.Corpus.Paper(iuad.PaperID(k % d.Corpus.Len()))
+		paper := iuad.Paper{
+			Title: fmt.Sprintf("snapshot %s probe %d on quantum flux taxonomy", phase, k),
+			Venue: p0.Venue,
+			Year:  2021 + k%3,
+			Authors: []string{
+				p0.Authors[0],
+				fmt.Sprintf("Brand New %s Author %d", phase, k),
+			},
+		}
+		if k%3 == 1 {
+			paper.Venue = fmt.Sprintf("NEWVENUE-%s-%d", phase, k)
+		}
+		if k%3 == 2 && len(p0.Authors) > 1 {
+			paper.Authors = []string{p0.Authors[1]}
+		}
+		out = append(out, paper)
+	}
+	return out
+}
+
+func addAll(t *testing.T, pl *iuad.Pipeline, papers []iuad.Paper) [][]iuad.Assignment {
+	t.Helper()
+	var out [][]iuad.Assignment
+	for _, p := range papers {
+		as, err := pl.AddPaper(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+func assertSameAssignments(t *testing.T, label string, live, loaded [][]iuad.Assignment) {
+	t.Helper()
+	if len(live) != len(loaded) {
+		t.Fatalf("%s: %d vs %d papers", label, len(live), len(loaded))
+	}
+	for i := range live {
+		if len(live[i]) != len(loaded[i]) {
+			t.Fatalf("%s paper %d: %d vs %d assignments", label, i, len(live[i]), len(loaded[i]))
+		}
+		for j := range live[i] {
+			a, b := live[i][j], loaded[i][j]
+			if a.Slot != b.Slot || a.Vertex != b.Vertex || a.Created != b.Created ||
+				math.Float64bits(a.Score) != math.Float64bits(b.Score) {
+				t.Fatalf("%s paper %d slot %d: live %+v, loaded %+v", label, i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTrip is the serving contract of the snapshot layer:
+// a pipeline saved mid-stream and reloaded must answer AddPaper exactly
+// like the pipeline that never stopped — same vertices, same scores to
+// the last bit — for serial and parallel configurations alike.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			scfg := iuad.DefaultSyntheticConfig()
+			scfg.Seed = 11
+			scfg.Authors = 300
+			scfg.Communities = 8
+			d := iuad.GenerateSynthetic(scfg)
+			live, err := iuad.Disambiguate(d.Corpus, equivCoreConfig(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Stream papers BEFORE saving, so the snapshot carries extra
+			// papers and late-interned symbols (names, venues, keywords).
+			preAssignments := addAll(t, live, streamProbes(d, "pre", 6))
+
+			var buf bytes.Buffer
+			if err := iuad.SavePipeline(&buf, live); err != nil {
+				t.Fatal(err)
+			}
+			snapshotBytes := buf.Len()
+			loaded, err := iuad.LoadPipeline(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("snapshot: %d bytes", snapshotBytes)
+
+			// Static state must match bit for bit.
+			if got, want := loaded.CalibratedDelta, live.CalibratedDelta; got != want {
+				t.Errorf("CalibratedDelta %v vs %v", got, want)
+			}
+			if got, want := loaded.TrainingPairs, live.TrainingPairs; got != want {
+				t.Errorf("TrainingPairs %d vs %d", got, want)
+			}
+			for _, net := range []struct {
+				name         string
+				live, loaded *iuad.Network
+			}{{"SCN", live.SCN, loaded.SCN}, {"GCN", live.GCN, loaded.GCN}} {
+				if got, want := net.loaded.VertexCount(), net.live.VertexCount(); got != want {
+					t.Fatalf("%s verts %d vs %d", net.name, got, want)
+				}
+				if got, want := net.loaded.EdgeCount(), net.live.EdgeCount(); got != want {
+					t.Fatalf("%s edges %d vs %d", net.name, got, want)
+				}
+				if err := net.loaded.Validate(); err != nil {
+					t.Fatalf("%s: %v", net.name, err)
+				}
+			}
+			ss, ls := live.ScoredPairs(), loaded.ScoredPairs()
+			if len(ss) != len(ls) {
+				t.Fatalf("scored pairs %d vs %d", len(ls), len(ss))
+			}
+			for i := range ss {
+				if ss[i] != ls[i] {
+					t.Fatalf("scored pair %d: %+v vs %+v", i, ls[i], ss[i])
+				}
+			}
+			for i := range live.Model.Specs {
+				if live.Model.MatchedMean(i) != loaded.Model.MatchedMean(i) ||
+					live.Model.UnmatchedMean(i) != loaded.Model.UnmatchedMean(i) {
+					t.Fatalf("model means diverge at feature %d", i)
+				}
+			}
+			// Pre-save slot assignments are part of the snapshot.
+			for _, as := range preAssignments {
+				for _, a := range as {
+					if got := loaded.GCN.ClusterOfSlot(a.Slot); got != a.Vertex {
+						t.Fatalf("pre-save slot %+v: loaded %d, live %d", a.Slot, got, a.Vertex)
+					}
+				}
+			}
+
+			// The contract: both pipelines stream the same future papers
+			// to bit-identical assignments.
+			post := streamProbes(d, "post", 9)
+			assertSameAssignments(t, "post-save",
+				addAll(t, live, post), addAll(t, loaded, post))
+		})
+	}
+}
+
+// TestSnapshotDeterministicBytes pins the encode side: saving the same
+// pipeline twice, or saving a loaded pipeline, must produce identical
+// bytes (maps are serialized in sorted order).
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	scfg := iuad.DefaultSyntheticConfig()
+	scfg.Seed = 7
+	scfg.Authors = 200
+	d := iuad.GenerateSynthetic(scfg)
+	pl, err := iuad.Disambiguate(d.Corpus, equivCoreConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addAll(t, pl, streamProbes(d, "det", 3))
+
+	var a, b bytes.Buffer
+	if err := iuad.SavePipeline(&a, pl); err != nil {
+		t.Fatal(err)
+	}
+	if err := iuad.SavePipeline(&b, pl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of one pipeline differ")
+	}
+	loaded, err := iuad.LoadPipeline(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := iuad.SavePipeline(&c, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("save→load→save is not byte-stable")
+	}
+}
+
+// TestSnapshotEmptyCorpus round-trips the degenerate model-less pipeline
+// (empty frozen corpus): AddPaper must keep working after load.
+func TestSnapshotEmptyCorpus(t *testing.T) {
+	c := iuad.NewCorpus(0)
+	c.Freeze()
+	pl, err := iuad.Disambiguate(c, iuad.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := iuad.SavePipeline(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := iuad.LoadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := iuad.Paper{Title: "first ever", Venue: "V", Year: 2021, Authors: []string{"Solo Author"}}
+	al, err := pl.AddPaper(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := loaded.AddPaper(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAssignments(t, "empty-corpus", [][]iuad.Assignment{al}, [][]iuad.Assignment{bl})
+}
+
+// TestSnapshotRejectsGarbage pins the failure modes: wrong magic and
+// truncated streams return errors, not panics.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := iuad.LoadPipeline(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	c := iuad.NewCorpus(0)
+	c.Freeze()
+	pl, err := iuad.Disambiguate(c, iuad.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := iuad.SavePipeline(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 2, len(full) - 1} {
+		if _, err := iuad.LoadPipeline(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
