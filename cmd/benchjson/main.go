@@ -2,21 +2,25 @@
 // disambiguation engine: it times the Table V scalability workload
 // (stage 1 + stage 2 on a synthetic corpus, embeddings trained once and
 // shared) at several worker counts, records memory behavior (bytes/op,
-// allocs/op, heap in use), and emits machine-readable JSON so future
+// allocs/op, heap in use), breaks stage 2 down into its phases
+// (candidate scoring, EM fit, decision, per-refine-round) via
+// core.Config.StageHook, and emits machine-readable JSON so future
 // changes can track the perf trajectory.
 //
 // Usage:
 //
-//	benchjson [-scale quick] [-workers 1,2,4,8] [-reps 3] [-out BENCH_intern.json]
+//	benchjson [-scale quick] [-workers 1,2,4,8] [-reps 3] [-out BENCH_refine.json]
 //	          [-baseline-ns N -baseline-bytes N -baseline-allocs N]
+//	          [-stage2-baseline-ns N -stage2-baseline-allocs N]
 //
 // The emitted file records ns/op per worker count plus the speedup over
 // Workers=1, together with gomaxprocs/num_cpu — speedup is a property
 // of the hardware the harness ran on (a single-core container reports
 // ≈1.0 by construction; the engine's output is identical either way).
 // The optional -baseline-* flags embed a reference measurement (e.g.
-// the pre-refactor implementation at Workers=1) so the report carries
-// its own before/after comparison.
+// the previous PR's implementation at Workers=1) so the report carries
+// its own before/after comparison; the -stage2-baseline-* flags do the
+// same for the stage-2 (BuildGCN) slice of the pipeline.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -35,22 +40,29 @@ import (
 )
 
 // Result is one (workers, time, memory) measurement. Time is the
-// minimum over reps; memory counters are from the same best rep.
+// minimum over reps; memory counters and the stage breakdown are from
+// the same best rep.
 type Result struct {
 	Workers         int     `json:"workers"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
-	BytesPerOp      uint64  `json:"bytes_per_op"`
-	AllocsPerOp     uint64  `json:"allocs_per_op"`
-	HeapInUseAfter  uint64  `json:"heap_in_use_after"`
+	// Stage1NsPerOp/Stage2NsPerOp split the op into BuildSCN and
+	// BuildGCN; StageNs breaks stage 2 down further (score-initial,
+	// fit-prep, em-fit, decision, refine-round-N).
+	Stage1NsPerOp  int64            `json:"stage1_ns_per_op"`
+	Stage2NsPerOp  int64            `json:"stage2_ns_per_op"`
+	StageNs        map[string]int64 `json:"stage_ns"`
+	BytesPerOp     uint64           `json:"bytes_per_op"`
+	AllocsPerOp    uint64           `json:"allocs_per_op"`
+	HeapInUseAfter uint64           `json:"heap_in_use_after"`
 }
 
 // Baseline is an optional reference measurement embedded via flags.
 type Baseline struct {
 	Label       string `json:"label"`
 	NsPerOp     int64  `json:"ns_per_op"`
-	BytesPerOp  uint64 `json:"bytes_per_op"`
-	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the emitted document.
@@ -64,7 +76,10 @@ type Report struct {
 	Reps         int       `json:"reps"`
 	Results      []Result  `json:"results"`
 	Baseline     *Baseline `json:"baseline,omitempty"`
-	GeneratedAt  time.Time `json:"generated_at"`
+	// Stage2Baseline is the reference measurement of the BuildGCN slice
+	// alone, for stage-2-targeted changes.
+	Stage2Baseline *Baseline `json:"stage2_baseline,omitempty"`
+	GeneratedAt    time.Time `json:"generated_at"`
 }
 
 func main() {
@@ -74,11 +89,14 @@ func main() {
 		scale    = flag.String("scale", "quick", "corpus scale: default | quick")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to time")
 		reps     = flag.Int("reps", 3, "repetitions per worker count (minimum time wins)")
-		out      = flag.String("out", "BENCH_intern.json", "output JSON path")
+		out      = flag.String("out", "BENCH_refine.json", "output JSON path")
 		baseNs   = flag.Int64("baseline-ns", 0, "reference ns/op to embed (0 = none)")
 		baseB    = flag.Uint64("baseline-bytes", 0, "reference bytes/op to embed")
 		baseA    = flag.Uint64("baseline-allocs", 0, "reference allocs/op to embed")
-		baseNote = flag.String("baseline-label", "pre-refactor string-keyed core, workers=1", "label for the embedded baseline")
+		baseNote = flag.String("baseline-label", "previous full-engine measurement, workers=1", "label for the embedded baseline")
+		s2Ns     = flag.Int64("stage2-baseline-ns", 0, "reference stage-2 ns/op to embed (0 = none)")
+		s2A      = flag.Uint64("stage2-baseline-allocs", 0, "reference stage-2 allocs/op to embed")
+		s2Note   = flag.String("stage2-baseline-label", "previous stage-2 (BuildGCN) measurement, workers=1", "label for the embedded stage-2 baseline")
 	)
 	flag.Parse()
 
@@ -111,13 +129,20 @@ func main() {
 	fmt.Printf("suite: %d papers (built in %v, embeddings shared across runs)\n",
 		s.Corpus.Len(), time.Since(start).Round(time.Millisecond))
 
-	// run executes one full engine pass and reports wall time plus the
-	// allocation deltas around it (GC'd before and after, so bytes/op is
-	// total allocation, not residency; HeapInuse after the final GC
-	// approximates the pipeline's resident working set).
-	run := func(w int) (time.Duration, uint64, uint64, uint64) {
+	// oneRun is a single full engine pass: wall times (total and per
+	// stage) plus the allocation deltas around it (GC'd before and
+	// after, so bytes/op is total allocation, not residency; HeapInuse
+	// after the final GC approximates the pipeline's resident set).
+	type oneRun struct {
+		total, stage1, stage2     time.Duration
+		stages                    map[string]int64
+		bytesOp, allocsOp, heapOp uint64
+	}
+	run := func(w int) oneRun {
 		cfg := opts.Core
 		cfg.Workers = w
+		stages := map[string]int64{}
+		cfg.StageHook = func(stage string, d time.Duration) { stages[stage] += d.Nanoseconds() }
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -126,20 +151,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		t1 := time.Now()
 		pl, err := core.BuildGCN(s.Corpus, scn, s.Emb, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		elapsed := time.Since(t0)
+		t2 := time.Now()
 		runtime.ReadMemStats(&after)
-		bytesOp := after.TotalAlloc - before.TotalAlloc
-		allocsOp := after.Mallocs - before.Mallocs
+		r := oneRun{
+			total:    t2.Sub(t0),
+			stage1:   t1.Sub(t0),
+			stage2:   t2.Sub(t1),
+			stages:   stages,
+			bytesOp:  after.TotalAlloc - before.TotalAlloc,
+			allocsOp: after.Mallocs - before.Mallocs,
+		}
 		runtime.GC()
 		runtime.ReadMemStats(&after)
 		// pl must stay live through the final ReadMemStats so HeapInuse
 		// includes the fitted pipeline it claims to measure.
 		runtime.KeepAlive(pl)
-		return elapsed, bytesOp, allocsOp, after.HeapInuse
+		r.heapOp = after.HeapInuse
+		return r
 	}
 
 	rep := Report{
@@ -160,34 +193,52 @@ func main() {
 			AllocsPerOp: *baseA,
 		}
 	}
+	if *s2Ns > 0 {
+		rep.Stage2Baseline = &Baseline{
+			Label:       *s2Note,
+			NsPerOp:     *s2Ns,
+			AllocsPerOp: *s2A,
+		}
+	}
 	var serial time.Duration
 	for _, w := range counts {
-		best := time.Duration(0)
-		var bestBytes, bestAllocs, bestHeap uint64
+		var best oneRun
 		for r := 0; r < *reps; r++ {
-			d, bytesOp, allocsOp, heap := run(w)
-			if best == 0 || d < best {
-				best, bestBytes, bestAllocs, bestHeap = d, bytesOp, allocsOp, heap
+			one := run(w)
+			if best.total == 0 || one.total < best.total {
+				best = one
 			}
 		}
 		if w == 1 {
-			serial = best
+			serial = best.total
 		}
 		speedup := 0.0
-		if best > 0 && serial > 0 {
-			speedup = float64(serial) / float64(best)
+		if best.total > 0 && serial > 0 {
+			speedup = float64(serial) / float64(best.total)
 		}
 		rep.Results = append(rep.Results, Result{
 			Workers:         w,
-			NsPerOp:         best.Nanoseconds(),
+			NsPerOp:         best.total.Nanoseconds(),
 			SpeedupVsSerial: speedup,
-			BytesPerOp:      bestBytes,
-			AllocsPerOp:     bestAllocs,
-			HeapInUseAfter:  bestHeap,
+			Stage1NsPerOp:   best.stage1.Nanoseconds(),
+			Stage2NsPerOp:   best.stage2.Nanoseconds(),
+			StageNs:         best.stages,
+			BytesPerOp:      best.bytesOp,
+			AllocsPerOp:     best.allocsOp,
+			HeapInUseAfter:  best.heapOp,
 		})
-		fmt.Printf("workers=%d: %v (%.2fx vs serial), %.1f MB/op, %d allocs/op, heap %0.1f MB\n",
-			w, best.Round(time.Millisecond), speedup,
-			float64(bestBytes)/(1<<20), bestAllocs, float64(bestHeap)/(1<<20))
+		fmt.Printf("workers=%d: %v (%.2fx vs serial), stage1 %v, stage2 %v, %.1f MB/op, %d allocs/op, heap %0.1f MB\n",
+			w, best.total.Round(time.Millisecond), speedup,
+			best.stage1.Round(time.Millisecond), best.stage2.Round(time.Millisecond),
+			float64(best.bytesOp)/(1<<20), best.allocsOp, float64(best.heapOp)/(1<<20))
+		names := make([]string, 0, len(best.stages))
+		for name := range best.stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-16s %v\n", name, time.Duration(best.stages[name]).Round(time.Millisecond))
+		}
 	}
 
 	f, err := os.Create(*out)

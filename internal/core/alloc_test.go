@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the allocation behavior of the flat-profile stage-2
+// hot paths, so the sorted-slice/merge-join layout cannot silently
+// regress back to map-per-profile or map-per-pair behavior. Bounds carry
+// modest headroom for slab block boundaries and runtime noise, but sit
+// far below what the map-based implementation cost (several allocations
+// per profile aggregate, one intersection map walk per pair).
+
+// TestAllocsBuildProfile: aggregating a vertex's papers into the flat
+// venue/word/year layout must cost ~1 allocation (the profile struct);
+// slices come from the builder's slab.
+func TestAllocsBuildProfile(t *testing.T) {
+	_, scn, sim, xs := simFixture(t)
+	papers := scn.Verts[xs[0]].Papers
+	pb := sim.builders.Get().(*profileBuilder)
+	defer sim.builders.Put(pb)
+	avg := testing.AllocsPerRun(200, func() {
+		sim.buildProfile(papers, pb)
+	})
+	if avg > 2 {
+		t.Fatalf("buildProfile allocates %.1f objects/run, want ≤ 2 (profile struct + amortized slab growth)", avg)
+	}
+}
+
+// TestAllocsSimilaritiesOfProfiles: scoring one pair over cached
+// profiles — all six merge-join/map-walk kernels — must not allocate.
+func TestAllocsSimilaritiesOfProfiles(t *testing.T) {
+	_, _, sim, xs := simFixture(t)
+	pi, pj := sim.profileOf(xs[0]), sim.profileOf(xs[1])
+	avg := testing.AllocsPerRun(200, func() {
+		sim.similaritiesOfProfiles(pi, pj)
+	})
+	if avg != 0 {
+		t.Fatalf("similaritiesOfProfiles allocates %.1f objects/run, want 0", avg)
+	}
+}
+
+// TestAllocsRefineRound pins a full refineOnce round on a carried
+// refineState at a threshold that merges nothing: every profile and
+// every pair score is reused, so the round's allocations are the
+// enumeration + contraction floor (block lists, the scored slice, the
+// rebuilt network), not per-pair similarity work. The map-based
+// implementation rebuilt every profile and re-walked every pair here —
+// hundreds of thousands of allocations on this fixture rather than
+// thousands.
+func TestAllocsRefineRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline fixture build in -short")
+	}
+	d := testDataset(23)
+	cfg := fastCoreConfig()
+	pl, err := Run(d.Corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	st := &refineState{}
+	net := pl.GCN
+	// First round pays the fresh similarity computer; measured rounds
+	// run on the carried state.
+	net = pl.refineOnce(st, net, pl.CalibratedDelta+refinePenalty, rng)
+	const noMerge = 1e9 // threshold no score reaches
+	avg := testing.AllocsPerRun(5, func() {
+		net = pl.refineOnce(st, net, noMerge, rng)
+	})
+	// Floor measured at ~9.2k objects (enumeration + contract) on this
+	// fixture; a regression to per-pair/per-profile maps lands 10-50×
+	// higher.
+	const maxAllocs = 20000
+	if avg > maxAllocs {
+		t.Fatalf("carried refineOnce allocates %.0f objects/round, want ≤ %d", avg, maxAllocs)
+	}
+}

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"iuad/internal/emfit"
 	"iuad/internal/sched"
@@ -152,12 +153,23 @@ type Config struct {
 	// pipeline always runs EM with this Config's Workers pool.
 	EMOptions emfit.Options
 
+	// StageHook, when non-nil, receives the wall time of each coarse
+	// stage-2 phase as it completes: "score-initial" (candidate pair
+	// enumeration + similarity vectors), "fit-prep" (vertex splitting and
+	// anchor sampling), "em-fit", "decision" (scoring + first merge), and
+	// "refine-round-N" per refinement round. Diagnostics only — it must
+	// not mutate pipeline state. Never serialized.
+	StageHook func(stage string, d time.Duration) `json:"-"`
+
 	// symCache is set by BuildGCN so every similarityComputer of one run
 	// shares the per-symbol lookup tables (see symbolCaches). Unexported:
 	// internal plumbing, invisible to JSON config serialization, and
 	// rebuilt fresh by each BuildGCN call (the caller's Config value is
 	// received by value and never mutated).
 	symCache *symbolCaches
+	// featIdx caches enabledFeatures() for the hot scoring paths (set
+	// alongside symCache; nil falls back to recomputing).
+	featIdx []int
 }
 
 // DefaultConfig returns the paper-faithful parameterization.
@@ -212,6 +224,30 @@ func (c *Config) enabledFeatures() []int {
 		}
 	}
 	return out
+}
+
+// featureIndexes returns the cached enabled-feature index list, falling
+// back to a fresh resolution when the cache is unset (configs built
+// outside BuildGCN, e.g. decoded snapshots before the pipeline seeds it).
+func (c *Config) featureIndexes() []int {
+	if c.featIdx != nil {
+		return c.featIdx
+	}
+	return c.enabledFeatures()
+}
+
+// stageTimer returns a lap function feeding StageHook, or a no-op when
+// the hook is unset (the hot path pays nothing).
+func (c *Config) stageTimer() func(stage string) {
+	if c.StageHook == nil {
+		return func(string) {}
+	}
+	last := time.Now()
+	return func(stage string) {
+		now := time.Now()
+		c.StageHook(stage, now.Sub(last))
+		last = now
+	}
 }
 
 // featureSpecs builds the emfit feature specifications for the enabled

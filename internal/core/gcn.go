@@ -93,22 +93,25 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 		return nil, err
 	}
 	cfg.symCache = buildSymbolCaches(corpus, emb)
+	cfg.featIdx = cfg.enabledFeatures()
 	pl := &Pipeline{Corpus: corpus, Cfg: cfg, SCN: scn, Emb: emb}
 	if len(scn.Verts) == 0 {
 		// Empty corpus: there is nothing to merge and nothing to fit a
 		// model on. Return a working pipeline with no model; AddPaper
 		// then gives every slot a fresh vertex (no merge evidence).
-		pl.GCN = scn.contract(newUnionFind(0).find)
+		pl.GCN, _ = scn.contract(newUnionFind(0).find)
 		pl.sim = newSimilarityComputer(pl.GCN, pl, pl.Emb, &pl.Cfg)
 		return pl, nil
 	}
 	sim := newSimilarityComputer(scn, corpusSource{corpus}, emb, &cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	lap := cfg.stageTimer()
 
 	pairs := collectCandidatePairs(scn, sim, &cfg, rng)
+	lap("score-initial")
 	labeled := resolveLabels(scn, &cfg)
 
-	model, calibration, err := fitModel(pairs, labeled, sim, &cfg, rng)
+	model, calibration, err := fitModel(pairs, labeled, sim, &cfg, rng, lap)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +131,7 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 		}
 	}
 	pl.GCN = pl.mergeAt(calibration + cfg.Delta)
+	lap("decision")
 
 	// Iterative refinement (MergeRounds > 1): rescore the contracted
 	// network with the same model; merged vertices carry richer profiles
@@ -135,14 +139,29 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 	// Each refinement round is stricter: merged vertices carry larger
 	// profiles whose similarity scores inflate, so holding the first-
 	// round threshold would compound early mistakes.
+	//
+	// The refineState threads profiles and pair scores through the
+	// rounds: one merge round only perturbs the merged clusters and
+	// their h-hop neighborhoods, so everything else is carried across
+	// the contraction instead of being recomputed.
+	st := &refineState{}
 	for round := 1; round < cfg.MergeRounds; round++ {
 		before := pl.GCN.VertexCount()
-		pl.GCN = pl.refineOnce(pl.GCN, calibration+cfg.Delta+refinePenalty*float64(round), rng)
+		pl.GCN = pl.refineOnce(st, pl.GCN, calibration+cfg.Delta+refinePenalty*float64(round), rng)
+		lap(fmt.Sprintf("refine-round-%d", round))
 		if pl.GCN.VertexCount() == before {
 			break
 		}
 	}
 	pl.sim = newSimilarityComputer(pl.GCN, pl, pl.Emb, &pl.Cfg)
+	if st.sim != nil && st.sim.net == pl.GCN {
+		// The refinement carry guarantees every cached profile equals a
+		// fresh rebuild on the final GCN (profile content only depends on
+		// corpus papers, resolved identically by both paper sources), so
+		// hand the warm cache to the serving computer instead of
+		// rebuilding those profiles on the first AddPaper calls.
+		pl.sim.cache = st.sim.cache
+	}
 	return pl, nil
 }
 
@@ -150,17 +169,140 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 // merge refinement.
 const refinePenalty = 2.0
 
-// refineOnce rescoers same-name pairs of net and applies one more merge
-// round at the given threshold, returning the contracted network.
-func (pl *Pipeline) refineOnce(net *Network, threshold float64, rng *rand.Rand) *Network {
-	sim := newSimilarityComputer(net, corpusSource{pl.Corpus}, pl.Emb, &pl.Cfg)
-	pairs := collectCandidatePairs(net, sim, &pl.Cfg, rng)
-	scored := scorePairs(pl.Model, pairs, pl.Cfg.workers())
+// refineState carries stage-2 scoring state across refinement rounds:
+// the similarity computer (with its profile cache) bound to the current
+// network, and the retained log-odds scores of pairs whose endpoints a
+// merge round left untouched. Invariant: a cached profile and a retained
+// score are bit-identical to what a from-scratch rebuild on the current
+// network would produce — contraction only perturbs merged clusters and
+// their h-hop neighborhoods (h = the WL/triangle radius), and carry()
+// drops exactly that set each round.
+type refineState struct {
+	sim      *similarityComputer
+	retained map[[2]int]float64
+}
+
+// refineOnce rescores same-name pairs of net and applies one more merge
+// round at the given threshold, returning the contracted network. Pairs
+// with a retained score are not recomputed; pairs with a rebuilt
+// endpoint (and pairs never scored, e.g. fresh cap samples) are.
+func (pl *Pipeline) refineOnce(st *refineState, net *Network, threshold float64, rng *rand.Rand) *Network {
+	if st.sim == nil {
+		// First refinement round: the GCN's recovered relations changed
+		// every neighborhood relative to the SCN the initial scoring ran
+		// on, so nothing is reusable yet — start a fresh computer here
+		// and carry it forward from this round on.
+		st.sim = newSimilarityComputer(net, corpusSource{pl.Corpus}, pl.Emb, &pl.Cfg)
+	}
+	blocks := candidateBlocks(net, &pl.Cfg, rng)
+	scored := st.scoreBlocks(&pl.Cfg, pl.Model, blocks)
 	uf := newUnionFind(len(net.Verts))
 	mergeScored(uf, scored, threshold, pl.Cfg.Merge)
-	out := net.contract(uf.find)
-	recoverRelations(out)
+	out, remap := net.contract(uf.find)
+	// No recoverRelations here: net already has every co-author relation
+	// recovered (mergeAt ran it on the first GCN, and contraction maps
+	// slots and edges consistently), so re-running it on the contracted
+	// network is an exact structural no-op — every edge it would add
+	// exists, every paper it would union is present. Skipping it saves a
+	// full slot sweep of redundant sorted-slice unions per round.
+	st.carry(out, remap, scored, pl.Cfg.WLIterations)
 	return out
+}
+
+// scoreBlocks computes the log-odds score of every candidate pair,
+// reusing retained scores where valid. Fresh pairs warm the profile
+// cache first (worker pool), then blocks are scored in parallel and
+// reduced positionally — the scored list is identical, in value and
+// order, to scoring every pair from scratch.
+func (st *refineState) scoreBlocks(cfg *Config, model *emfit.Model, blocks [][][2]int) []ScoredPair {
+	sim := st.sim
+	var involved []int
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk)
+		for _, pr := range blk {
+			if _, ok := st.retained[pr]; !ok {
+				involved = append(involved, pr[0], pr[1])
+			}
+		}
+	}
+	sim.precomputeProfiles(involved)
+	scoredBlocks := sched.Map(cfg.workers(), len(blocks), func(k int) []ScoredPair {
+		pairs := blocks[k]
+		out := make([]ScoredPair, len(pairs))
+		var gbuf [NumSimilarities]float64 // per-block gamma scratch
+		for i, pr := range pairs {
+			if s, ok := st.retained[pr]; ok {
+				out[i] = ScoredPair{A: pr[0], B: pr[1], Score: s}
+				continue
+			}
+			full := sim.similaritiesOfProfiles(sim.mustProfile(pr[0]), sim.mustProfile(pr[1]))
+			out[i] = ScoredPair{A: pr[0], B: pr[1], Score: model.LogOdds(cfg.gammaInto(full, gbuf[:]))}
+		}
+		return out
+	})
+	out := make([]ScoredPair, 0, total)
+	for _, blk := range scoredBlocks {
+		out = append(out, blk...)
+	}
+	return out
+}
+
+// carry advances the refine state across a contraction: profiles of
+// vertices outside the invalidation radius are transplanted onto their
+// new IDs, and this round's pair scores are retained for every pair
+// whose endpoints both stayed clean. The invalidation radius is the one
+// AddPaper already uses for its cache: merged clusters plus their h-hop
+// neighborhoods (h = WLIterations, min 1 — triangles reach 1 hop even
+// when WL depth is 0).
+func (st *refineState) carry(out *Network, remap []int, scored []ScoredPair, wlIters int) {
+	radius := wlIters
+	if radius < 1 {
+		radius = 1
+	}
+	preimages := make([]int32, len(out.Verts))
+	for _, nv := range remap {
+		preimages[nv]++
+	}
+	dirty := make([]bool, len(out.Verts))
+	var frontier []int
+	for v, c := range preimages {
+		if c > 1 {
+			dirty[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for d := 0; d < radius; d++ {
+		var next []int
+		for _, v := range frontier {
+			out.G.VisitNeighbors(v, func(u int) {
+				if !dirty[u] {
+					dirty[u] = true
+					next = append(next, u)
+				}
+			})
+		}
+		frontier = next
+	}
+	cache := make(map[int]*profile, len(st.sim.cache))
+	for old, p := range st.sim.cache {
+		if nv := remap[old]; !dirty[nv] {
+			cache[nv] = p
+		}
+	}
+	st.sim = st.sim.rebind(out, cache)
+	retained := make(map[[2]int]float64, len(scored))
+	for _, sp := range scored {
+		a, b := remap[sp.A], remap[sp.B]
+		if a == b || dirty[a] || dirty[b] {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		retained[[2]int{a, b}] = sp.Score
+	}
+	st.retained = retained
 }
 
 // ScoredPairs exposes the candidate pairs with their matching scores.
@@ -180,7 +322,7 @@ func (pl *Pipeline) mergeAt(delta float64) *Network {
 		uf.union(fm[0], fm[1])
 	}
 	mergeScored(uf, pl.scored, delta, pl.Cfg.Merge)
-	gcn := pl.SCN.contract(uf.find)
+	gcn, _ := pl.SCN.contract(uf.find)
 	recoverRelations(gcn)
 	return gcn
 }
@@ -230,8 +372,13 @@ func mergeScored(uf *unionFind, scored []ScoredPair, delta float64, strategy Mer
 	default: // MergeBestMatch
 		// Each vertex proposes to its best-scoring partner; proposals at
 		// or above δ merge. Chains stay short because every vertex emits
-		// at most one proposal.
-		best := map[int]ScoredPair{}
+		// at most one proposal. best is indexed by vertex ID (scored
+		// pairs only reference vertices of the union-find's network) —
+		// no map allocation or hash traffic per round, and the fold is
+		// structurally order-independent: a slot is only overwritten by
+		// a strictly better proposal under the deterministic tie-break.
+		best := make([]ScoredPair, uf.len())
+		has := make([]bool, uf.len())
 		better := func(cur ScoredPair, have ScoredPair, ok bool) bool {
 			if !ok {
 				return true
@@ -246,47 +393,41 @@ func mergeScored(uf *unionFind, scored []ScoredPair, delta float64, strategy Mer
 			if sp.Score < delta {
 				continue
 			}
-			if have, ok := best[sp.A]; better(sp, have, ok) {
-				best[sp.A] = sp
+			if better(sp, best[sp.A], has[sp.A]) {
+				best[sp.A], has[sp.A] = sp, true
 			}
-			if have, ok := best[sp.B]; better(sp, have, ok) {
-				best[sp.B] = sp
+			if better(sp, best[sp.B], has[sp.B]) {
+				best[sp.B], has[sp.B] = sp, true
 			}
 		}
-		for _, sp := range best {
-			uf.union(sp.A, sp.B)
+		// Union order does not affect the final partition (components
+		// are order-independent, and union roots at the smallest member),
+		// but ascending order keeps the fold obviously deterministic.
+		for v := range best {
+			if has[v] {
+				uf.union(best[v].A, best[v].B)
+			}
 		}
 	}
 }
 
-// collectCandidatePairs enumerates same-name vertex pairs (R of §V-A),
-// computes their similarity vectors, and applies the per-name cap.
-//
-// Name blocks are the unit of parallelism: pair enumeration (which
-// consumes the rng for the per-name cap) stays on the caller's
-// goroutine in sorted-name order, then the similarity vectors of each
-// block are computed by the worker pool and merged back in the same
-// stable name order — identical output for every worker count.
-func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, rng *rand.Rand) []candidatePair {
+// candidateBlocks enumerates the same-name vertex pair blocks (R of
+// §V-A) in lexicographic name order (== ascending ID for frozen names —
+// the stable reduction order of the former string-keyed implementation),
+// applying the per-name cap. The rng draws of the cap sampling happen on
+// the caller's goroutine in this fixed block order; every scoring path
+// (initial scoring and each refinement round) shares this enumeration,
+// so the rng stream and the pair order are independent of how many
+// scores are later reused versus recomputed.
+func candidateBlocks(scn *Network, cfg *Config, rng *rand.Rand) [][][2]int {
 	nameIDs := make([]intern.ID, 0, len(scn.byName))
 	for nid, ids := range scn.byName {
 		if len(ids) > 1 {
 			nameIDs = append(nameIDs, intern.ID(nid))
 		}
 	}
-	// Lexicographic block order (== ascending ID for frozen names): the
-	// stable reduction order of the former string-keyed implementation.
 	scn.names.Sort(nameIDs)
-	// Profile construction dominates stage-2 cost and is independent per
-	// vertex; warm the cache with the worker pool so the parallel pair
-	// loop below only reads it.
-	var involved []int
-	for _, nid := range nameIDs {
-		involved = append(involved, scn.byName[nid]...)
-	}
-	sim.precomputeProfiles(involved)
 	blocks := make([][][2]int, 0, len(nameIDs))
-	total := 0
 	for _, nid := range nameIDs {
 		ids := scn.byName[nid]
 		namePairs := make([][2]int, 0, len(ids)*(len(ids)-1)/2)
@@ -302,8 +443,32 @@ func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, r
 			namePairs = namePairs[:cfg.MaxPairsPerName]
 		}
 		blocks = append(blocks, namePairs)
-		total += len(namePairs)
 	}
+	return blocks
+}
+
+// collectCandidatePairs enumerates same-name vertex pairs and computes
+// their similarity vectors.
+//
+// Name blocks are the unit of parallelism: pair enumeration (which
+// consumes the rng for the per-name cap) stays on the caller's
+// goroutine in sorted-name order, then the similarity vectors of each
+// block are computed by the worker pool and merged back in the same
+// stable name order — identical output for every worker count.
+func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, rng *rand.Rand) []candidatePair {
+	blocks := candidateBlocks(scn, cfg, rng)
+	// Profile construction dominates stage-2 cost and is independent per
+	// vertex; warm the cache with the worker pool so the parallel pair
+	// loop below only reads it.
+	var involved []int
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk)
+		for _, pr := range blk {
+			involved = append(involved, pr[0], pr[1])
+		}
+	}
+	sim.precomputeProfiles(involved)
 	scored := sched.Map(cfg.workers(), len(blocks), func(k int) []candidatePair {
 		pairs := blocks[k]
 		out := make([]candidatePair, len(pairs))
@@ -336,7 +501,7 @@ func scorePairs(model *emfit.Model, pairs []candidatePair, workers int) []Scored
 // and any curator labels (semi-supervised extension). It also calibrates
 // the decision threshold: the (1−FalseMatchRate) quantile of the uniform
 // anchors' fitted scores.
-func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarityComputer, cfg *Config, rng *rand.Rand) (*emfit.Model, float64, error) {
+func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarityComputer, cfg *Config, rng *rand.Rand, lap func(string)) (*emfit.Model, float64, error) {
 	specs := cfg.featureSpecs()
 	var x [][]float64
 	var init []float64
@@ -461,6 +626,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 	if len(x) == 0 {
 		return nil, 0, fmt.Errorf("core: no training pairs (corpus too small for GCN stage)")
 	}
+	lap("fit-prep")
 	// EM concurrency always follows the pipeline's Workers knob (one
 	// knob, one pool size; see Config.EMOptions).
 	opts := cfg.EMOptions
@@ -502,6 +668,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 			calibration = 0
 		}
 	}
+	lap("em-fit")
 	return model, calibration, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"iuad/internal/bib"
 	"iuad/internal/graph"
@@ -173,25 +174,34 @@ func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, nameIDs []intern.ID) (
 	return iso, bestScore, true
 }
 
-// tempProfile builds the single-paper profile of the incoming slot. Its
-// structural view is the star of the paper's co-author names (the
-// radius-1 collaboration neighborhood the new paper establishes).
+// tempProfile builds the single-paper profile of the incoming slot on
+// the flat layout. Its structural view is the star of the paper's
+// co-author names (the radius-1 collaboration neighborhood the new paper
+// establishes); the triangle list is every co-author name pair, sorted
+// and deduplicated like a vertex profile's.
 func (pl *Pipeline) tempProfile(paper *bib.Paper, idx int, nameIDs []intern.ID) *profile {
-	p := pl.sim.buildProfile([]bib.PaperID{paper.ID})
+	pb := pl.sim.builders.Get().(*profileBuilder)
+	p := pl.sim.buildProfile([]bib.PaperID{paper.ID}, pb)
 	p.wl = starFeatures(paper, idx, pl.Cfg.WLIterations)
+	p.wlSelfDot = wlkernel.Dot(p.wl, p.wl)
 	p.degree = len(paper.Authors) - 1
-	p.triangles = map[namePair]struct{}{}
 	others := make([]intern.ID, 0, len(nameIDs)-1)
 	for i, nid := range nameIDs {
 		if i != idx {
 			others = append(others, nid)
 		}
 	}
+	pb.tris = pb.tris[:0]
 	for i := 0; i < len(others); i++ {
 		for j := i + 1; j < len(others); j++ {
-			p.triangles[makeNamePair(others[i], others[j])] = struct{}{}
+			pb.tris = append(pb.tris, makeNamePair(others[i], others[j]))
 		}
 	}
+	slices.SortFunc(pb.tris, cmpNamePair)
+	dedup := slices.Compact(pb.tris)
+	p.triangles = pb.sl.allocPairs(len(dedup))
+	copy(p.triangles, dedup)
+	pl.sim.builders.Put(pb)
 	return p
 }
 

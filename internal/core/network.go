@@ -103,13 +103,19 @@ func edgeKey(u, v int) [2]int {
 	return [2]int{u, v}
 }
 
-// unionPapers merges two sorted unique PaperID slices.
+// unionPapers merges two sorted unique PaperID slices. When b ⊆ a the
+// input slice is returned unchanged — contraction and relation recovery
+// mostly re-union papers that are already present, and the no-op case
+// must not allocate.
 func unionPapers(a, b []bib.PaperID) []bib.PaperID {
 	if len(b) == 0 {
 		return a
 	}
 	if len(a) == 0 {
 		return append([]bib.PaperID(nil), b...)
+	}
+	if containsAllPapers(a, b) {
+		return a
 	}
 	out := make([]bib.PaperID, 0, len(a)+len(b))
 	i, j := 0, 0
@@ -130,6 +136,25 @@ func unionPapers(a, b []bib.PaperID) []bib.PaperID {
 	out = append(out, a[i:]...)
 	out = append(out, b[j:]...)
 	return out
+}
+
+// containsAllPapers reports whether every element of sorted-unique b is
+// present in sorted-unique a, via one two-pointer scan.
+func containsAllPapers(a, b []bib.PaperID) bool {
+	if len(b) > len(a) {
+		return false
+	}
+	i := 0
+	for _, x := range b {
+		for i < len(a) && a[i] < x {
+			i++
+		}
+		if i >= len(a) || a[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
 }
 
 // VertexCount returns the number of vertices.

@@ -87,7 +87,7 @@ func TestContractMergesNameGroups(t *testing.T) {
 
 	uf := newUnionFind(3)
 	uf.union(a1, a2)
-	out := n.contract(uf.find)
+	out, _ := n.contract(uf.find)
 	if out.VertexCount() != 2 {
 		t.Fatalf("contracted vertices=%d, want 2", out.VertexCount())
 	}
@@ -124,7 +124,7 @@ func TestContractDropsInternalEdges(t *testing.T) {
 	n.addEdge(a1, a2, []bib.PaperID{0}) // edge inside the future group
 	uf := newUnionFind(2)
 	uf.union(a1, a2)
-	out := n.contract(uf.find)
+	out, _ := n.contract(uf.find)
 	if out.EdgeCount() != 0 {
 		t.Fatalf("internal edge survived contraction: %d", out.EdgeCount())
 	}

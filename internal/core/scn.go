@@ -21,6 +21,24 @@ func makeNamePair(a, b intern.ID) namePair {
 	return namePair{a, b}
 }
 
+// cmpNamePair orders pairs by (A, B) — the sort order of the flat
+// triangle lists that γ²'s merge-join intersects.
+func cmpNamePair(a, b namePair) int {
+	if a.A != b.A {
+		if a.A < b.A {
+			return -1
+		}
+		return 1
+	}
+	if a.B != b.B {
+		if a.B < b.B {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // BuildSCN runs stage 1 (§IV): mine η-SCRs from the co-author lists and
 // construct the stable collaboration network.
 //
@@ -201,7 +219,8 @@ func BuildSCN(corpus *bib.Corpus, cfg Config) (*Network, error) {
 		}
 	}
 	uf.grow(len(n.Verts)) // isolated vertices added after construction
-	return n.contract(uf.find), nil
+	scn, _ := n.contract(uf.find)
+	return scn, nil
 }
 
 func containsPaper(papers []bib.PaperID, p bib.PaperID) bool {
@@ -210,8 +229,11 @@ func containsPaper(papers []bib.PaperID, p bib.PaperID) bool {
 }
 
 // contract rebuilds the network with vertex groups collapsed according to
-// find. Groups are guaranteed by callers to be name-homogeneous.
-func (n *Network) contract(find func(int) int) *Network {
+// find. Groups are guaranteed by callers to be name-homogeneous. The
+// returned remap gives every old vertex's new ID — the carry that lets
+// iterative refinement transplant profiles and pair scores of untouched
+// vertices across rounds instead of rebuilding them.
+func (n *Network) contract(find func(int) int) (*Network, []int) {
 	out := newNetwork(n.Corpus)
 	remap := make([]int, len(n.Verts))
 	for i := range remap {
@@ -243,7 +265,7 @@ func (n *Network) contract(find func(int) int) *Network {
 	for slot, old := range n.SlotVertex {
 		out.SlotVertex[slot] = remap[old]
 	}
-	return out
+	return out, remap
 }
 
 // unionFind is a disjoint-set forest over vertex IDs.
@@ -265,6 +287,9 @@ func (u *unionFind) grow(n int) {
 		u.parent = append(u.parent, len(u.parent))
 	}
 }
+
+// len returns the number of elements in the forest.
+func (u *unionFind) len() int { return len(u.parent) }
 
 func (u *unionFind) find(x int) int {
 	for u.parent[x] != x {

@@ -2,7 +2,8 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"iuad/internal/bib"
 	"iuad/internal/intern"
@@ -34,37 +35,103 @@ func (s corpusSource) wordFreqID(id intern.ID) int           { return s.c.WordFr
 func (s corpusSource) venueFreqID(id intern.ID) int          { return s.c.VenueFrequencyID(id) }
 
 // profile caches the per-vertex aggregates the six similarity functions
-// consume (§V-B). All keys are interned IDs; the former string-keyed
-// maps hashed every venue/keyword on every profile build.
+// consume (§V-B), laid out as flat sorted slices instead of the former
+// per-profile hash maps. Every slice is carved from a profileBuilder's
+// slab, so building a round's profiles costs a handful of block
+// allocations instead of several maps per vertex.
+//
+// All symbol slices are sorted in lexicographic *symbol* order — for
+// frozen-corpus IDs that is plain ascending-ID order (intern.Build
+// assigns sorted ranks), and for the rare late-interned symbols of the
+// incremental stream the builders fall back to a string sort. This is
+// the deterministic iteration order the former map-based implementation
+// used for its γ⁴/γ⁶ float reductions, so two-pointer merge-joins over
+// these slices reproduce those sums bit for bit.
 type profile struct {
 	paperCount int
-	// venues is the multiset H(v); venueList its key list sorted in
-	// lexicographic *symbol* order (the deterministic iteration order for
-	// float reductions — map order would make γ⁶ vary in the last ulp
-	// between calls; for frozen symbols this is plain ascending-ID
-	// order); topVenue its most frequent element (ties broken
+	// venueIDs/venueCounts encode the venue multiset H(v) as parallel
+	// sorted slices; topVenue is its most frequent element (ties broken
 	// lexicographically), or intern.None when the vertex has no venues.
-	venues    map[intern.ID]int
-	venueList []intern.ID
-	topVenue  intern.ID
-	// wordYears maps each title-keyword ID to the sorted years it was
-	// used; wordList is its key list in lexicographic symbol order
-	// (deterministic γ⁴ sum order).
-	wordYears map[intern.ID][]int
-	wordList  []intern.ID
+	venueIDs    []intern.ID
+	venueCounts []int32
+	topVenue    intern.ID
+	// wordIDs lists the distinct title-keyword IDs; the years each word
+	// was used (ascending, with multiplicity) live in
+	// years[wordOff[i]:wordOff[i+1]] — one shared backing slice instead
+	// of a map of small slices.
+	wordIDs []intern.ID
+	wordOff []int32
+	years   []int32
 	// centroid is W(v), the mean keyword vector (nil if no keyword is in
 	// vocabulary).
 	centroid []float64
 	// wl is the WL subgraph feature map φ of the vertex's ego network;
-	// degree is the vertex's collaboration degree. A neighborless vertex
-	// has no structural identity beyond its own (shared) name, so γ¹
-	// treats it as "no evidence" rather than "identical subgraph".
-	wl     map[uint64]int
-	degree int
-	// triangles is the set of co-author name-ID pairs forming stable
+	// wlSelfDot caches its self inner product ⟨φ,φ⟩ (an exact integer sum)
+	// so γ¹ walks one map per pair instead of three; degree is the
+	// vertex's collaboration degree. A neighborless vertex has no
+	// structural identity beyond its own (shared) name, so γ¹ treats it
+	// as "no evidence" rather than "identical subgraph".
+	wl        map[uint64]int
+	wlSelfDot float64
+	degree    int
+	// triangles lists the distinct co-author name-ID pairs forming stable
 	// triangles with this vertex (the clique list L(v) of Eq. 5,
-	// restricted to triangles as in the paper).
-	triangles map[namePair]struct{}
+	// restricted to triangles as in the paper), sorted by (A, B).
+	triangles []namePair
+}
+
+// slabBlock is the element count of one slab growth step. Profiles are
+// small (a few venues, tens of words), so one block serves hundreds of
+// profiles; giant vertices spill into a dedicated exact-size block.
+const slabBlock = 4096
+
+// slab is a bump allocator for profile slices: carving sorted runs out
+// of a few grown blocks replaces the thousands of small map and slice
+// allocations the map-based profiles cost per refinement round. Carved
+// regions are immutable once returned (full-slice expressions prevent
+// append bleed), so profiles may outlive the builder that made them.
+type slab struct {
+	ids   []intern.ID
+	i32   []int32
+	pairs []namePair
+}
+
+// carve returns an n-element region bumped off the current block,
+// growing it when exhausted. The full-slice expression caps the region
+// so later carves can never append into it.
+func carve[T any](block *[]T, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if cap(*block)-len(*block) < n {
+		*block = make([]T, 0, max(n, slabBlock))
+	}
+	l := len(*block)
+	*block = (*block)[: l+n : cap(*block)]
+	return (*block)[l : l+n : l+n]
+}
+
+func (s *slab) allocIDs(n int) []intern.ID  { return carve(&s.ids, n) }
+func (s *slab) allocI32(n int) []int32      { return carve(&s.i32, n) }
+func (s *slab) allocPairs(n int) []namePair { return carve(&s.pairs, n) }
+
+// wordYear is one (keyword, year) occurrence gathered during profile
+// aggregation, before sorting and run-length grouping.
+type wordYear struct {
+	id   intern.ID
+	year int32
+}
+
+// profileBuilder bundles a slab with the reusable scratch buffers of
+// profile aggregation. Builders are not safe for concurrent use; the
+// computer keeps them in a sync.Pool so each worker of a parallel
+// profile warm-up holds one exclusively while building.
+type profileBuilder struct {
+	sl     slab
+	wys    []wordYear
+	vens   []intern.ID
+	kwRows []int32
+	tris   []namePair
 }
 
 // similarityComputer evaluates γ¹..γ⁶ over a network, caching profiles.
@@ -74,6 +141,10 @@ type similarityComputer struct {
 	emb   *textvec.Embeddings
 	cfg   *Config
 	cache map[int]*profile
+
+	// builders pools profileBuilders (slab + scratch): serial paths reuse
+	// one, parallel warm-ups hand one to each in-flight build.
+	builders *sync.Pool
 
 	// Symbol tables of the underlying corpus, shared by every layer.
 	nameTab  *intern.Table
@@ -122,6 +193,7 @@ func newSimilarityComputer(net *Network, src paperSource, emb *textvec.Embedding
 		emb:      emb,
 		cfg:      cfg,
 		cache:    make(map[int]*profile),
+		builders: &sync.Pool{New: func() any { return new(profileBuilder) }},
 		nameTab:  net.Corpus.NameTable(),
 		venueTab: net.Corpus.VenueTable(),
 		wordTab:  net.Corpus.WordTable(),
@@ -135,6 +207,18 @@ func newSimilarityComputer(net *Network, src paperSource, emb *textvec.Embedding
 		sc.embRows = caches.embRows
 	}
 	return sc
+}
+
+// rebind returns a computer over net that shares this computer's symbol
+// tables, per-symbol caches and builder pool, seeded with the given
+// profile cache — the cross-round carry of iterative refinement: the
+// profiles of vertices untouched by a merge round are remapped into the
+// contracted network instead of being rebuilt.
+func (sc *similarityComputer) rebind(net *Network, cache map[int]*profile) *similarityComputer {
+	out := *sc
+	out.net = net
+	out.cache = cache
+	return &out
 }
 
 // wlLabel returns the WL initial label of the interned name nid.
@@ -163,20 +247,24 @@ func (sc *similarityComputer) profileOf(v int) *profile {
 	if p, ok := sc.cache[v]; ok {
 		return p
 	}
-	p := sc.buildVertexProfile(v)
+	pb := sc.builders.Get().(*profileBuilder)
+	p := sc.buildVertexProfile(v, pb)
+	sc.builders.Put(pb)
 	sc.cache[v] = p
 	return p
 }
 
 // buildVertexProfile computes a vertex profile without touching the
 // cache; it only reads the (immutable during stage 2) network, corpus
-// and embeddings, so it is safe to call from concurrent workers.
-func (sc *similarityComputer) buildVertexProfile(v int) *profile {
-	p := sc.buildProfile(sc.net.Verts[v].Papers)
+// and embeddings plus the caller-owned builder, so it is safe to call
+// from concurrent workers holding distinct builders.
+func (sc *similarityComputer) buildVertexProfile(v int, pb *profileBuilder) *profile {
+	p := sc.buildProfile(sc.net.Verts[v].Papers, pb)
 	p.wl = wlkernel.SubgraphFeatures(sc.net.G, v, sc.cfg.WLIterations,
 		func(u int) uint64 { return sc.wlLabel(sc.net.Verts[u].NameID) })
+	p.wlSelfDot = wlkernel.Dot(p.wl, p.wl)
 	p.degree = sc.net.G.Degree(v)
-	p.triangles = sc.triangleNamePairs(v)
+	p.triangles = sc.triangleNamePairs(v, pb)
 	return p
 }
 
@@ -188,18 +276,23 @@ func (sc *similarityComputer) buildVertexProfile(v int) *profile {
 // mustProfile).
 func (sc *similarityComputer) precomputeProfiles(ids []int) {
 	var todo []int
-	seen := make(map[int]struct{}, len(ids))
+	// Bitset dedup sized to the vertex count: ids are vertex indexes, so
+	// this replaces a hash set on the warm-up path of every round.
+	seen := make([]uint64, (len(sc.net.Verts)+63)/64)
 	for _, id := range ids {
-		if _, dup := seen[id]; dup {
+		if seen[id>>6]&(1<<(uint(id)&63)) != 0 {
 			continue
 		}
-		seen[id] = struct{}{}
+		seen[id>>6] |= 1 << (uint(id) & 63)
 		if _, ok := sc.cache[id]; !ok {
 			todo = append(todo, id)
 		}
 	}
 	results := sched.Map(sc.cfg.workers(), len(todo), func(k int) *profile {
-		return sc.buildVertexProfile(todo[k])
+		pb := sc.builders.Get().(*profileBuilder)
+		p := sc.buildVertexProfile(todo[k], pb)
+		sc.builders.Put(pb)
+		return p
 	})
 	for k, id := range todo {
 		sc.cache[id] = results[k]
@@ -214,75 +307,145 @@ func (sc *similarityComputer) mustProfile(v int) *profile {
 	if p, ok := sc.cache[v]; ok {
 		return p
 	}
-	return sc.buildVertexProfile(v)
+	pb := sc.builders.Get().(*profileBuilder)
+	p := sc.buildVertexProfile(v, pb)
+	sc.builders.Put(pb)
+	return p
 }
 
-// buildProfile aggregates papers into venue/keyword/centroid state. It is
-// shared by vertex profiles and the temporary profiles of incremental
-// papers.
-func (sc *similarityComputer) buildProfile(papers []bib.PaperID) *profile {
-	p := &profile{
-		paperCount: len(papers),
-		venues:     make(map[intern.ID]int),
-		wordYears:  make(map[intern.ID][]int),
-	}
-	var kwRows []int32 // in-vocabulary keyword rows, occurrence order
+// buildProfile aggregates papers into venue/keyword/centroid state on the
+// flat layout: occurrences are gathered into the builder's scratch,
+// sorted, and run-length grouped into slab-backed slices. It is shared by
+// vertex profiles and the temporary profiles of incremental papers.
+func (sc *similarityComputer) buildProfile(papers []bib.PaperID, pb *profileBuilder) *profile {
+	p := &profile{paperCount: len(papers)}
+	pb.vens = pb.vens[:0]
+	pb.wys = pb.wys[:0]
+	pb.kwRows = pb.kwRows[:0]
+	venueFrozen := intern.ID(sc.venueTab.FrozenLen())
+	wordFrozen := intern.ID(sc.wordTab.FrozenLen())
+	tailed := false
 	for _, id := range papers {
 		if vid := sc.src.venueIDOf(id); vid != intern.None {
-			p.venues[vid]++
+			pb.vens = append(pb.vens, vid)
+			tailed = tailed || vid >= venueFrozen
 		}
-		year := sc.src.yearOf(id)
+		year := int32(sc.src.yearOf(id))
 		for _, w := range sc.src.keywordIDs(id) {
-			p.wordYears[w] = append(p.wordYears[w], year)
+			pb.wys = append(pb.wys, wordYear{id: w, year: year})
+			tailed = tailed || w >= wordFrozen
 			if sc.emb != nil {
 				if r := sc.embRow(w); r >= 0 {
-					kwRows = append(kwRows, r)
+					pb.kwRows = append(pb.kwRows, r)
 				}
 			}
 		}
 	}
-	p.wordList = make([]intern.ID, 0, len(p.wordYears))
-	for w, years := range p.wordYears {
-		sort.Ints(years)
-		p.wordList = append(p.wordList, w)
+	// Sort occurrences into symbol order. All-frozen profiles (every
+	// batch profile, and most incremental ones) take the pure integer
+	// sort; a late-interned symbol falls back to the table comparator,
+	// preserving the exact lexicographic semantics of the old sorted key
+	// lists.
+	if !tailed {
+		slices.Sort(pb.vens)
+		slices.SortFunc(pb.wys, func(a, b wordYear) int {
+			if a.id != b.id {
+				if a.id < b.id {
+					return -1
+				}
+				return 1
+			}
+			if a.year != b.year {
+				if a.year < b.year {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+	} else {
+		slices.SortFunc(pb.vens, sc.venueTab.Compare)
+		slices.SortFunc(pb.wys, func(a, b wordYear) int {
+			if c := sc.wordTab.Compare(a.id, b.id); c != 0 {
+				return c
+			}
+			if a.year != b.year {
+				if a.year < b.year {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
 	}
-	sc.wordTab.Sort(p.wordList)
-	p.venueList = make([]intern.ID, 0, len(p.venues))
-	for v := range p.venues {
-		p.venueList = append(p.venueList, v)
-	}
-	sc.venueTab.Sort(p.venueList)
-	best, bestCount := intern.None, -1
-	for v, c := range p.venues {
-		if c > bestCount || (c == bestCount && sc.venueTab.Less(v, best)) {
-			best, bestCount = v, c
+	// Venue runs + top venue (max count, ties to the lexicographically
+	// smallest, i.e. the first run at the max since runs are in symbol
+	// order).
+	runs := 0
+	for i := 0; i < len(pb.vens); i++ {
+		if i == 0 || pb.vens[i] != pb.vens[i-1] {
+			runs++
 		}
 	}
-	p.topVenue = best
+	p.venueIDs = pb.sl.allocIDs(runs)
+	p.venueCounts = pb.sl.allocI32(runs)
+	p.topVenue = intern.None
+	var bestCount int32 = -1
+	k := -1
+	for i := 0; i < len(pb.vens); i++ {
+		if i == 0 || pb.vens[i] != pb.vens[i-1] {
+			k++
+			p.venueIDs[k] = pb.vens[i]
+			p.venueCounts[k] = 0
+		}
+		p.venueCounts[k]++
+		if p.venueCounts[k] > bestCount {
+			bestCount = p.venueCounts[k]
+			p.topVenue = p.venueIDs[k]
+		}
+	}
+	// Word runs: distinct IDs plus per-word year spans in one shared
+	// backing slice.
+	runs = 0
+	for i := 0; i < len(pb.wys); i++ {
+		if i == 0 || pb.wys[i].id != pb.wys[i-1].id {
+			runs++
+		}
+	}
+	p.wordIDs = pb.sl.allocIDs(runs)
+	p.wordOff = pb.sl.allocI32(runs + 1)
+	p.years = pb.sl.allocI32(len(pb.wys))
+	k = -1
+	for i := 0; i < len(pb.wys); i++ {
+		if i == 0 || pb.wys[i].id != pb.wys[i-1].id {
+			k++
+			p.wordIDs[k] = pb.wys[i].id
+			p.wordOff[k] = int32(i)
+		}
+		p.years[i] = pb.wys[i].year
+	}
+	if runs > 0 {
+		p.wordOff[runs] = int32(len(pb.wys))
+	}
 	if sc.emb != nil {
 		// Mean-centered centroids: raw SGNS centroids share a large
 		// common direction and saturate cosine near 1 for all pairs.
-		p.centroid = sc.emb.CenteredCentroidRows(kwRows)
+		p.centroid = sc.emb.CenteredCentroidRows(pb.kwRows)
 	}
 	return p
 }
 
-// triangleNamePairs lists the name-ID pairs {name(u), name(w)} of all
-// stable triangles (v,u,w) in the network.
-func (sc *similarityComputer) triangleNamePairs(v int) map[namePair]struct{} {
-	out := make(map[namePair]struct{})
-	for _, tri := range sc.net.G.TrianglesOf(v) {
-		others := make([]intern.ID, 0, 2)
-		for _, x := range []int{tri.A, tri.B, tri.C} {
-			if x != v {
-				others = append(others, sc.net.Verts[x].NameID)
-			}
-		}
-		if len(others) != 2 {
-			continue
-		}
-		out[makeNamePair(others[0], others[1])] = struct{}{}
-	}
+// triangleNamePairs lists the distinct name-ID pairs {name(u), name(w)}
+// of all stable triangles (v,u,w) in the network, sorted by (A, B).
+func (sc *similarityComputer) triangleNamePairs(v int, pb *profileBuilder) []namePair {
+	pb.tris = pb.tris[:0]
+	sc.net.G.VisitTrianglePairs(v, func(u, w int) {
+		pb.tris = append(pb.tris, makeNamePair(sc.net.Verts[u].NameID, sc.net.Verts[w].NameID))
+	})
+	slices.SortFunc(pb.tris, cmpNamePair)
+	dedup := slices.Compact(pb.tris)
+	out := pb.sl.allocPairs(len(dedup))
+	copy(out, dedup)
 	return out
 }
 
@@ -311,7 +474,7 @@ func (sc *similarityComputer) similaritiesOfProfiles(pi, pj *profile) [NumSimila
 	enabled := func(i int) bool { return sc.cfg.FeatureMask == nil || sc.cfg.FeatureMask[i] }
 
 	if enabled(SimWLKernel) && pi.degree > 0 && pj.degree > 0 {
-		g[SimWLKernel] = wlkernel.Normalized(pi.wl, pj.wl)
+		g[SimWLKernel] = wlkernel.NormalizedPre(pi.wl, pj.wl, pi.wlSelfDot, pj.wlSelfDot)
 	}
 	if enabled(SimCliques) {
 		g[SimCliques] = cliqueCoincidence(pi, pj)
@@ -323,7 +486,7 @@ func (sc *similarityComputer) similaritiesOfProfiles(pi, pj *profile) [NumSimila
 		g[SimTimeConsist] = sc.timeConsistency(pi, pj)
 	}
 	if enabled(SimRepCommunity) {
-		g[SimRepCommunity] = representativeCommunity(pi, pj)
+		g[SimRepCommunity] = sc.representativeCommunity(pi, pj)
 	}
 	if enabled(SimCommunity) {
 		g[SimCommunity] = sc.communitySimilarity(pi, pj)
@@ -331,16 +494,22 @@ func (sc *similarityComputer) similaritiesOfProfiles(pi, pj *profile) [NumSimila
 	return g
 }
 
-// cliqueCoincidence is γ² (Eq. 5): shared co-author cliques over τ.
+// cliqueCoincidence is γ² (Eq. 5): shared co-author cliques over τ,
+// counted by a two-pointer merge over the sorted triangle lists.
 func cliqueCoincidence(pi, pj *profile) float64 {
-	small, large := pi.triangles, pj.triangles
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	shared := 0
-	for t := range small {
-		if _, ok := large[t]; ok {
+	a, b := pi.triangles, pj.triangles
+	shared, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x.A < y.A || (x.A == y.A && x.B < y.B):
+			i++
+		case y.A < x.A || (y.A == x.A && y.B < x.B):
+			j++
+		default:
 			shared++
+			i++
+			j++
 		}
 	}
 	return float64(shared) / tau(pi, pj)
@@ -351,31 +520,63 @@ func cliqueCoincidence(pi, pj *profile) float64 {
 // α described as a *decay* factor (0.62, citing FutureRank); a positive
 // exponent would grow with the year gap, so the decay sign is restored
 // here.
+//
+// The merge-join walks both word lists in symbol order, so the shared
+// keywords contribute in exactly the sorted order the map-based
+// implementation iterated — float additions are not associative, and the
+// sum must be bit-stable.
 func (sc *similarityComputer) timeConsistency(pi, pj *profile) float64 {
-	small, large := pi, pj
-	if len(small.wordYears) > len(large.wordYears) {
-		small, large = large, small
-	}
-	// Iterate the smaller side's *sorted* word list: float additions are
-	// not associative, so the sum order must not depend on map order.
 	sum := 0.0
-	for _, w := range small.wordList {
-		yearsA := small.wordYears[w]
-		yearsB, ok := large.wordYears[w]
-		if !ok {
-			continue
+	i, j := 0, 0
+	for i < len(pi.wordIDs) && j < len(pj.wordIDs) {
+		switch sc.wordTab.Compare(pi.wordIDs[i], pj.wordIDs[j]) {
+		case -1:
+			i++
+		case 1:
+			j++
+		default:
+			w := pi.wordIDs[i]
+			freq := sc.src.wordFreqID(w)
+			if freq < 2 {
+				freq = 2 // guard log(1)=0; co-occurrence implies freq ≥ 2
+			}
+			diff := minYearDiff32(
+				pi.years[pi.wordOff[i]:pi.wordOff[i+1]],
+				pj.years[pj.wordOff[j]:pj.wordOff[j+1]])
+			sum += math.Exp(-sc.cfg.Alpha*float64(diff)) / math.Log(float64(freq))
+			i++
+			j++
 		}
-		freq := sc.src.wordFreqID(w)
-		if freq < 2 {
-			freq = 2 // guard log(1)=0; co-occurrence implies freq ≥ 2
-		}
-		diff := minYearDiff(yearsA, yearsB)
-		sum += math.Exp(-sc.cfg.Alpha*float64(diff)) / math.Log(float64(freq))
 	}
 	return sum / tau(pi, pj)
 }
 
-// minYearDiff returns min |a−b| over the two sorted year lists in O(n+m).
+// minYearDiff32 returns min |a−b| over two sorted year lists in O(n+m).
+func minYearDiff32(a, b []int32) int {
+	i, j := 0, 0
+	best := int32(math.MaxInt32)
+	for i < len(a) && j < len(b) {
+		d := a[i] - b[j]
+		if d < 0 {
+			d = -d
+		}
+		if d < best {
+			best = d
+		}
+		if best == 0 {
+			return 0
+		}
+		if a[i] < b[j] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return int(best)
+}
+
+// minYearDiff is the []int variant of minYearDiff32, kept for direct
+// unit-testing of the two-pointer scan.
 func minYearDiff(a, b []int) int {
 	i, j := 0, 0
 	best := math.MaxInt32
@@ -399,37 +600,58 @@ func minYearDiff(a, b []int) int {
 	return best
 }
 
+// venueCountOf returns the multiplicity of venue id in p's venue multiset
+// (0 when absent), by binary search over the symbol-sorted venue runs.
+func (sc *similarityComputer) venueCountOf(p *profile, id intern.ID) int32 {
+	lo, hi := 0, len(p.venueIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sc.venueTab.Compare(p.venueIDs[mid], id) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.venueIDs) && p.venueIDs[lo] == id {
+		return p.venueCounts[lo]
+	}
+	return 0
+}
+
 // representativeCommunity is γ⁵ (Eq. 8): how often each vertex publishes
 // in the other's most frequent venue, over τ.
-func representativeCommunity(pi, pj *profile) float64 {
+func (sc *similarityComputer) representativeCommunity(pi, pj *profile) float64 {
 	s := 0.0
 	if pi.topVenue != intern.None {
-		s += float64(pj.venues[pi.topVenue])
+		s += float64(sc.venueCountOf(pj, pi.topVenue))
 	}
 	if pj.topVenue != intern.None {
-		s += float64(pi.venues[pj.topVenue])
+		s += float64(sc.venueCountOf(pi, pj.topVenue))
 	}
 	return s / tau(pi, pj)
 }
 
-// communitySimilarity is γ⁶ (Eq. 9): Adamic/Adar over shared venues.
+// communitySimilarity is γ⁶ (Eq. 9): Adamic/Adar over shared venues,
+// merge-joined in symbol order (the deterministic sum order, as in
+// timeConsistency).
 func (sc *similarityComputer) communitySimilarity(pi, pj *profile) float64 {
-	small, large := pi, pj
-	if len(small.venues) > len(large.venues) {
-		small, large = large, small
-	}
-	// Sorted-venue iteration for a deterministic sum order (as in
-	// timeConsistency).
 	sum := 0.0
-	for _, h := range small.venueList {
-		if _, ok := large.venues[h]; !ok {
-			continue
+	i, j := 0, 0
+	for i < len(pi.venueIDs) && j < len(pj.venueIDs) {
+		switch sc.venueTab.Compare(pi.venueIDs[i], pj.venueIDs[j]) {
+		case -1:
+			i++
+		case 1:
+			j++
+		default:
+			freq := sc.src.venueFreqID(pi.venueIDs[i])
+			if freq < 2 {
+				freq = 2
+			}
+			sum += 1 / math.Log(float64(freq))
+			i++
+			j++
 		}
-		freq := sc.src.venueFreqID(h)
-		if freq < 2 {
-			freq = 2
-		}
-		sum += 1 / math.Log(float64(freq))
 	}
 	return sum / tau(pi, pj)
 }
@@ -437,10 +659,23 @@ func (sc *similarityComputer) communitySimilarity(pi, pj *profile) float64 {
 // gammaFor projects the full similarity vector onto the enabled features,
 // in feature-index order — the layout the emfit model is trained on.
 func (c *Config) gammaFor(full [NumSimilarities]float64) []float64 {
-	idx := c.enabledFeatures()
+	idx := c.featureIndexes()
 	out := make([]float64, len(idx))
 	for k, i := range idx {
 		out[k] = full[i]
 	}
 	return out
+}
+
+// gammaInto is gammaFor into a caller-owned buffer (hot scoring paths
+// reuse one buffer per block instead of allocating per pair). The buffer
+// must have capacity for every enabled feature; the filled prefix is
+// returned.
+func (c *Config) gammaInto(full [NumSimilarities]float64, buf []float64) []float64 {
+	idx := c.featureIndexes()
+	buf = buf[:len(idx)]
+	for k, i := range idx {
+		buf[k] = full[i]
+	}
+	return buf
 }

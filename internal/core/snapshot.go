@@ -26,6 +26,9 @@ const SnapshotVersion = 1
 // The similarity profile cache is deliberately not part of the state:
 // AddPaper invalidates every profile an update can affect, so cached
 // profiles always equal fresh rebuilds and a cold cache is equivalent.
+// (This held for the map-backed profiles and holds unchanged for the
+// flat slab-backed layout — profiles are derived state either way; the
+// wire format carries no profile bytes and needs no version bump.)
 func SavePipeline(w io.Writer, pl *Pipeline) error {
 	if pl == nil || pl.GCN == nil || pl.SCN == nil {
 		return fmt.Errorf("core: SavePipeline before BuildGCN")
@@ -94,6 +97,10 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
 		return nil, fmt.Errorf("core: unmarshal config: %w", err)
 	}
+	// Re-seed the unexported scoring caches BuildGCN would have set (the
+	// feature-index cache keeps the incremental scoring path
+	// allocation-lean after a restart).
+	cfg.featIdx = cfg.enabledFeatures()
 	corpus, err := bib.DecodeCorpusSnapshot(sr)
 	if err != nil {
 		return nil, err

@@ -166,6 +166,22 @@ func (g *Graph) TrianglesOf(v int) []Triangle {
 	return out
 }
 
+// VisitTrianglePairs calls fn(u, w) for every triangle (v, u, w), where
+// u < w are neighbors of v joined by an edge — the allocation-free
+// variant of TrianglesOf used by profile building, which only needs the
+// two non-pivot vertices.
+func (g *Graph) VisitTrianglePairs(v int, fn func(u, w int)) {
+	g.check(v)
+	nbrs := g.adj[v]
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+				fn(int(nbrs[i]), int(nbrs[j]))
+			}
+		}
+	}
+}
+
 func normTriangle(a, b, c int) Triangle {
 	if a > b {
 		a, b = b, a

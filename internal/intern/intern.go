@@ -110,6 +110,26 @@ func (t *Table) Less(a, b ID) bool {
 	return t.strs[a] < t.strs[b]
 }
 
+// Compare orders two symbols lexicographically, returning -1, 0 or +1.
+// Both in the frozen range, this is an integer comparison — the fast
+// path of the flat-profile merge-joins, which walk two symbol-sorted
+// slices with this comparator.
+func (t *Table) Compare(a, b ID) int {
+	if a == b {
+		return 0
+	}
+	if int(a) < t.frozen && int(b) < t.frozen {
+		if a < b {
+			return -1
+		}
+		return 1
+	}
+	if t.strs[a] < t.strs[b] {
+		return -1
+	}
+	return 1
+}
+
 // Sort orders ids lexicographically by their symbols (ascending). When
 // every id is in the frozen range this is a plain integer sort.
 func (t *Table) Sort(ids []ID) {

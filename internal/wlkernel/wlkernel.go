@@ -35,13 +35,11 @@ func Features(g *graph.Graph, labels []uint64, h int) map[uint64]int {
 		counts[l]++
 	}
 	next := make([]uint64, n)
+	var nl []uint64 // neighbor-label scratch, reused across vertices
 	for iter := 0; iter < h; iter++ {
 		for v := 0; v < n; v++ {
-			nbs := g.Neighbors(v)
-			nl := make([]uint64, 0, len(nbs))
-			for _, u := range nbs {
-				nl = append(nl, cur[u])
-			}
+			nl = nl[:0]
+			g.VisitNeighbors(v, func(u int) { nl = append(nl, cur[u]) })
 			sort.Slice(nl, func(i, j int) bool { return nl[i] < nl[j] })
 			next[v] = compress(cur[v], nl)
 		}
@@ -53,22 +51,33 @@ func Features(g *graph.Graph, labels []uint64, h int) map[uint64]int {
 	return counts
 }
 
+// FNV-1a constants (hash/fnv), used by the allocation-free inline
+// hashing below. The byte stream fed to the hash is identical to the
+// former hash.Hash64-based implementation (each uint64 little-endian),
+// so every label — and thus every feature map — is bit-identical.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvMix64 folds the eight little-endian bytes of x into the running
+// FNV-1a state h.
+func fnvMix64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(x >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // compress hashes (own label, sorted neighbor labels) into a new label.
 func compress(own uint64, neighbors []uint64) uint64 {
-	hsh := fnv.New64a()
-	var buf [8]byte
-	put := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(x >> (8 * i))
-		}
-		hsh.Write(buf[:])
-	}
-	put(own)
-	put(uint64(len(neighbors)) ^ 0x9e3779b97f4a7c15)
+	h := fnvMix64(fnvOffset64, own)
+	h = fnvMix64(h, uint64(len(neighbors))^0x9e3779b97f4a7c15)
 	for _, l := range neighbors {
-		put(l)
+		h = fnvMix64(h, l)
 	}
-	return hsh.Sum64()
+	return h
 }
 
 // Dot returns the inner product ⟨a,b⟩ of two feature maps (Eq. 3).
@@ -88,7 +97,17 @@ func Dot(a, b map[uint64]int) float64 {
 // Normalized returns the cosine-normalized kernel of Eq. 4:
 // K(a,b) / sqrt(K(a,a)·K(b,b)). Empty feature maps yield 0.
 func Normalized(a, b map[uint64]int) float64 {
-	den := math.Sqrt(Dot(a, a) * Dot(b, b))
+	return NormalizedPre(a, b, Dot(a, a), Dot(b, b))
+}
+
+// NormalizedPre is Normalized with the self inner products K(a,a) and
+// K(b,b) supplied by the caller — profiles cache them, so each pair
+// evaluation walks only the smaller map once instead of all three.
+// Self-dots are sums of products of integer counts, exactly
+// representable in float64, so sqrt(selfA·selfB) here is bit-identical
+// to recomputing the dots in place.
+func NormalizedPre(a, b map[uint64]int, selfA, selfB float64) float64 {
+	den := math.Sqrt(selfA * selfB)
 	if den == 0 {
 		return 0
 	}
