@@ -10,6 +10,8 @@
 package iuad_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -206,6 +208,72 @@ func iuadBenchPaper(author string, i int) bib.Paper {
 		Venue:   "KDD",
 		Year:    2021,
 		Authors: []string{author},
+	}
+}
+
+// BenchmarkAddPapersBatch compares one-at-a-time AddPaper against
+// batched AddPapers at several batch sizes over the same 64-paper
+// stream (ambiguous test names, so candidate scoring dominates). Every
+// iteration restores a fresh pipeline from an in-memory snapshot, so
+// each mode ingests into identical state; results are bit-identical
+// across modes by the batched-ingest contract, only the shared work
+// per paper changes. BENCH_serve.json records the benchjson variant.
+func BenchmarkAddPapersBatch(b *testing.B) {
+	s := benchSuite(b)
+	cfg := s.Opts.Core
+	cfg.Workers = 1
+	base, err := core.Run(s.Corpus, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := core.SavePipeline(&snap, base); err != nil {
+		b.Fatal(err)
+	}
+	const streamLen = 64
+	papers := make([]bib.Paper, streamLen)
+	for i := range papers {
+		// Two ambiguous names per paper: large candidate sets to score
+		// and collaboration edges to register, so the shared h-hop
+		// invalidation pass is on the measured path.
+		papers[i] = iuadBenchPaper(s.TestNames[i%len(s.TestNames)], i)
+		if other := s.TestNames[(i+1)%len(s.TestNames)]; other != papers[i].Authors[0] {
+			papers[i].Authors = append(papers[i].Authors, other)
+		}
+	}
+	for _, batch := range []int{1, 8, 64} {
+		name := fmt.Sprintf("batch=%d", batch)
+		if batch == 1 {
+			name = "one-at-a-time"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pl, err := core.LoadPipeline(bytes.NewReader(snap.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if batch == 1 {
+					for _, p := range papers {
+						if _, err := pl.AddPaper(p); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					for off := 0; off < len(papers); off += batch {
+						end := off + batch
+						if end > len(papers) {
+							end = len(papers)
+						}
+						if _, err := pl.AddPapers(context.Background(), papers[off:end]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*streamLen), "ns/paper")
+		})
 	}
 }
 

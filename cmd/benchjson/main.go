@@ -24,6 +24,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/experiments"
 )
@@ -65,6 +68,25 @@ type Baseline struct {
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 }
 
+// IngestResult is one ingest-mode measurement: the same paper stream
+// fed one-at-a-time (batch=1, via AddPaper) or in AddPapers batches.
+// Assignments are bit-identical across modes by the batched-ingest
+// contract; only the shared work per paper changes.
+type IngestResult struct {
+	Batch           int     `json:"batch"`
+	NsPerPaper      int64   `json:"ns_per_paper"`
+	AllocsPerPaper  uint64  `json:"allocs_per_paper"`
+	BytesPerPaper   uint64  `json:"bytes_per_paper"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+}
+
+// IngestReport is the batched-vs-single ingest section (BENCH_serve).
+type IngestReport struct {
+	Papers  int            `json:"papers"`
+	Workers int            `json:"workers"`
+	Results []IngestResult `json:"results"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Benchmark    string    `json:"benchmark"`
@@ -79,7 +101,10 @@ type Report struct {
 	// Stage2Baseline is the reference measurement of the BuildGCN slice
 	// alone, for stage-2-targeted changes.
 	Stage2Baseline *Baseline `json:"stage2_baseline,omitempty"`
-	GeneratedAt    time.Time `json:"generated_at"`
+	// Ingest is the serving-path measurement (-ingest): batched
+	// AddPapers against the one-at-a-time AddPaper stream.
+	Ingest      *IngestReport `json:"ingest,omitempty"`
+	GeneratedAt time.Time     `json:"generated_at"`
 }
 
 func main() {
@@ -97,6 +122,8 @@ func main() {
 		s2Ns     = flag.Int64("stage2-baseline-ns", 0, "reference stage-2 ns/op to embed (0 = none)")
 		s2A      = flag.Uint64("stage2-baseline-allocs", 0, "reference stage-2 allocs/op to embed")
 		s2Note   = flag.String("stage2-baseline-label", "previous stage-2 (BuildGCN) measurement, workers=1", "label for the embedded stage-2 baseline")
+		ingest   = flag.Int("ingest", 0, "measure serving-path ingest over this many streamed papers (0 = skip)")
+		ingestBS = flag.String("ingest-batches", "1,16,128", "comma-separated AddPapers batch sizes (1 = AddPaper one-at-a-time)")
 	)
 	flag.Parse()
 
@@ -241,6 +268,27 @@ func main() {
 		}
 	}
 
+	if *ingest > 0 {
+		var sizes []int
+		for _, tok := range strings.Split(*ingestBS, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				log.Fatalf("bad -ingest-batches entry %q", tok)
+			}
+			sizes = append(sizes, n)
+		}
+		// The one-at-a-time baseline is always measured, exactly once,
+		// and first — every SpeedupVsSingle divides by the same number.
+		ordered := []int{1}
+		for _, n := range sizes {
+			if n != 1 {
+				ordered = append(ordered, n)
+			}
+		}
+		sizes = ordered
+		rep.Ingest = measureIngest(s, opts, *ingest, sizes, *reps)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -254,4 +302,100 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// measureIngest times the serving write path: the same deterministic
+// stream of papers (ambiguous test names, so candidate scoring
+// dominates) fed one-at-a-time versus in AddPapers batches, each run
+// against a fresh pipeline restored from one in-memory snapshot so
+// every mode ingests into identical state. Minimum over reps wins.
+func measureIngest(s *experiments.Suite, opts experiments.Options, papers int, sizes []int, reps int) *IngestReport {
+	cfg := opts.Core
+	cfg.Workers = 1 // serving-shaped measurement, hardware-independent
+	pl, err := core.Run(s.Corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := core.SavePipeline(&snap, pl); err != nil {
+		log.Fatal(err)
+	}
+	// Multi-author papers over the ambiguous test names: every ingest
+	// scores large candidate sets AND registers collaboration edges, so
+	// the h-hop invalidation pass (the part batching shares) is on the
+	// measured path.
+	stream := make([]bib.Paper, papers)
+	for i := range stream {
+		a := s.TestNames[i%len(s.TestNames)]
+		b := s.TestNames[(i+1)%len(s.TestNames)]
+		authors := []string{a, b}
+		if a == b {
+			authors = []string{a}
+		}
+		if i%3 == 0 {
+			authors = append(authors, fmt.Sprintf("Ingest Collaborator %d", i%11))
+		}
+		stream[i] = bib.Paper{
+			Title:   fmt.Sprintf("serve ingest probe %d on streaming graph mining", i),
+			Venue:   "KDD",
+			Year:    2021 + i%3,
+			Authors: authors,
+		}
+	}
+	rep := &IngestReport{Papers: papers, Workers: 1}
+	var singleNs int64
+	for _, batch := range sizes {
+		var bestNs int64
+		var bestAllocs, bestBytes uint64
+		for r := 0; r < reps; r++ {
+			fresh, err := core.LoadPipeline(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			if batch == 1 {
+				for _, p := range stream {
+					if _, err := fresh.AddPaper(p); err != nil {
+						log.Fatal(err)
+					}
+				}
+			} else {
+				for off := 0; off < len(stream); off += batch {
+					end := off + batch
+					if end > len(stream) {
+						end = len(stream)
+					}
+					if _, err := fresh.AddPapers(context.Background(), stream[off:end]); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			elapsed := time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			if bestNs == 0 || elapsed < bestNs {
+				bestNs = elapsed
+				bestAllocs = after.Mallocs - before.Mallocs
+				bestBytes = after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		res := IngestResult{
+			Batch:          batch,
+			NsPerPaper:     bestNs / int64(papers),
+			AllocsPerPaper: bestAllocs / uint64(papers),
+			BytesPerPaper:  bestBytes / uint64(papers),
+		}
+		if batch == 1 {
+			singleNs = res.NsPerPaper
+		}
+		if singleNs > 0 {
+			res.SpeedupVsSingle = float64(singleNs) / float64(res.NsPerPaper)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("ingest batch=%-4d %8d ns/paper (%.2fx vs one-at-a-time), %d allocs/paper\n",
+			batch, res.NsPerPaper, res.SpeedupVsSingle, res.AllocsPerPaper)
+	}
+	return rep
 }

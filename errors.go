@@ -1,0 +1,27 @@
+package iuad
+
+import "errors"
+
+// Typed errors of the serving API. They are sentinel values so callers
+// can branch with errors.Is; functions that wrap them add call-site
+// context.
+var (
+	// ErrNotFrozen is returned by Open when the corpus has not been
+	// frozen (call Corpus.Freeze after the last Add).
+	ErrNotFrozen = errors.New("iuad: corpus is not frozen")
+
+	// ErrNoCorpus is returned by Open when it has neither a corpus nor
+	// an existing snapshot to start from.
+	ErrNoCorpus = errors.New("iuad: no corpus and no snapshot to open")
+
+	// ErrUnknownAuthor is returned by the query API for an author ID
+	// outside the published network.
+	ErrUnknownAuthor = errors.New("iuad: unknown author id")
+
+	// ErrUnknownSlot is returned by ResolveSlot for a (paper, index)
+	// pair outside the published network.
+	ErrUnknownSlot = errors.New("iuad: unknown author slot")
+
+	// ErrClosed is returned by the write API after Close.
+	ErrClosed = errors.New("iuad: service is closed")
+)

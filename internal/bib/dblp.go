@@ -32,19 +32,87 @@ var dblpRecordElements = map[string]struct{}{
 	"www":           {},
 }
 
-// DBLPStats reports what a parse saw and skipped.
+// DBLPStats reports what a parse saw and skipped, and carries the
+// ground-truth label table the dump encodes: DBLP's numeric homonym
+// suffixes ("Wei Wang 0001") are the human-curated disambiguation
+// decision this system is supposed to reproduce. The parser strips the
+// suffix from the name the disambiguator sees (keeping it would leak
+// the answer) but records the pre-strip name as each slot's
+// ground-truth identity in Paper.Truth, keyed by the Labels table.
 type DBLPStats struct {
 	Records        int // publication records encountered
 	Kept           int // records converted into papers
 	SkippedNoAuth  int // records without any <author>
 	SkippedBadYear int // records whose <year> failed to parse (kept, year 0)
+
+	// LabeledSlots counts author slots carrying a ground-truth identity
+	// (every kept slot: an unsuffixed DBLP name is a single author by
+	// the dump's own convention, so it is its own identity).
+	LabeledSlots int
+	// SuffixedSlots counts slots whose identity came from an explicit
+	// numeric homonym suffix — the hand-disambiguated subset.
+	SuffixedSlots int
+	// Labels is the ground-truth identity table: AuthorID ↔ the
+	// pre-normalization DBLP author key ("Bo Chen 0002"). Always
+	// non-nil after a successful parse.
+	Labels *DBLPLabels
+}
+
+// DBLPLabels is the ground-truth label table of a DBLP parse: a dense
+// AuthorID per distinct pre-normalization author key, in first-
+// appearance order (deterministic for a given document).
+type DBLPLabels struct {
+	ids  map[string]AuthorID
+	keys []string
+}
+
+// Len returns the number of distinct ground-truth identities.
+func (l *DBLPLabels) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.keys)
+}
+
+// KeyOf returns the DBLP author key of identity id (the suffixed name
+// as printed in the dump), or "" when out of range.
+func (l *DBLPLabels) KeyOf(id AuthorID) string {
+	if l == nil || id < 0 || int(id) >= len(l.keys) {
+		return ""
+	}
+	return l.keys[id]
+}
+
+// IDOf returns the identity of a DBLP author key, or UnknownAuthor.
+func (l *DBLPLabels) IDOf(key string) AuthorID {
+	if l == nil {
+		return UnknownAuthor
+	}
+	if id, ok := l.ids[key]; ok {
+		return id
+	}
+	return UnknownAuthor
+}
+
+// intern returns the identity of key, assigning the next dense ID on
+// first sight.
+func (l *DBLPLabels) intern(key string) AuthorID {
+	if id, ok := l.ids[key]; ok {
+		return id
+	}
+	id := AuthorID(len(l.keys))
+	l.ids[key] = id
+	l.keys = append(l.keys, key)
+	return id
 }
 
 // ParseDBLP streams a dblp.xml-format document into a frozen Corpus.
 // maxPapers > 0 truncates the parse after that many kept records (useful
-// for sampling the 3+ GB real dump); 0 means no limit.
+// for sampling the 3+ GB real dump); 0 means no limit. The returned
+// stats carry the dump's ground-truth label table (see DBLPStats); the
+// corpus papers carry the matching per-slot Truth identities.
 func ParseDBLP(r io.Reader, maxPapers int) (*Corpus, DBLPStats, error) {
-	var stats DBLPStats
+	stats := DBLPStats{Labels: &DBLPLabels{ids: make(map[string]AuthorID)}}
 	c := NewCorpus(4096)
 	dec := xml.NewDecoder(r)
 	// dblp.xml declares numeric character entities in its internal DTD
@@ -77,13 +145,34 @@ func ParseDBLP(r io.Reader, maxPapers int) (*Corpus, DBLPStats, error) {
 		if paper == nil {
 			continue
 		}
-		if _, err := c.Add(*paper); err != nil {
+		// The co-author list parsed with DBLP's homonym suffixes intact
+		// (whitespace already collapsed) — the suffixes are the curated
+		// ground truth. Strip them from the names the disambiguator
+		// sees; the raw keys become the slots' identities below, but
+		// only once the record is known to be kept, so dropped records
+		// never inflate the label table.
+		raw := paper.Authors
+		paper.Authors = make([]string, len(raw))
+		for i, r := range raw {
+			paper.Authors[i] = NormalizeName(r)
+		}
+		id, err := c.Add(*paper)
+		if err != nil {
 			// Duplicate author names inside one record occur in the real
 			// dump (homonym co-authors); drop the record rather than fail.
 			stats.SkippedNoAuth++
 			continue
 		}
+		kept := c.Paper(id)
+		kept.Truth = make([]AuthorID, len(raw))
+		for i, r := range raw {
+			kept.Truth[i] = stats.Labels.intern(r)
+			if kept.Authors[i] != r {
+				stats.SuffixedSlots++
+			}
+		}
 		stats.Kept++
+		stats.LabeledSlots += len(raw)
 		if maxPapers > 0 && stats.Kept >= maxPapers {
 			break
 		}
@@ -137,7 +226,10 @@ func assignDBLPField(p *Paper, field, value string, stats *DBLPStats) {
 	switch field {
 	case "author", "editor":
 		if field == "author" {
-			p.Authors = append(p.Authors, NormalizeName(value))
+			// Collapse whitespace only; the numeric homonym suffix stays
+			// on until ParseDBLP has recorded it as the slot's
+			// ground-truth identity.
+			p.Authors = append(p.Authors, collapseSpace(value))
 		}
 	case "title":
 		p.Title = value
@@ -198,6 +290,12 @@ func (l *latin1Reader) Read(p []byte) (int, error) {
 	n := copy(p, l.pending)
 	l.pending = l.pending[n:]
 	return n, nil
+}
+
+// collapseSpace trims and collapses internal whitespace runs without
+// touching DBLP's numeric homonym suffixes.
+func collapseSpace(name string) string {
+	return strings.Join(strings.Fields(name), " ")
 }
 
 // NormalizeName canonicalizes an author-name string: trims space,

@@ -68,6 +68,31 @@ func TestParseDBLP(t *testing.T) {
 	if c.Paper(2).Year != 0 {
 		t.Fatalf("bad year should parse as 0, got %d", c.Paper(2).Year)
 	}
+
+	// The numeric homonym suffixes are curated ground truth: stripped
+	// from the names the disambiguator sees, recorded as per-slot Truth.
+	if !c.Labeled() {
+		t.Fatal("parsed corpus should carry ground-truth labels")
+	}
+	if stats.LabeledSlots != 4 {
+		t.Fatalf("LabeledSlots=%d, want 4", stats.LabeledSlots)
+	}
+	if stats.SuffixedSlots != 1 {
+		t.Fatalf("SuffixedSlots=%d, want 1 (Bo Chen 0002)", stats.SuffixedSlots)
+	}
+	if stats.Labels.Len() != 4 {
+		t.Fatalf("Labels.Len=%d, want 4 distinct identities", stats.Labels.Len())
+	}
+	id := p.TruthAt(1)
+	if key := stats.Labels.KeyOf(id); key != "Bo Chen 0002" {
+		t.Fatalf("identity key of slot 0/1 = %q, want pre-strip suffix kept", key)
+	}
+	if stats.Labels.IDOf("Bo Chen 0002") != id {
+		t.Fatal("IDOf/KeyOf disagree")
+	}
+	if stats.Labels.IDOf("never seen") != UnknownAuthor {
+		t.Fatal("unknown key should map to UnknownAuthor")
+	}
 }
 
 func TestParseDBLPMaxPapers(t *testing.T) {

@@ -46,6 +46,9 @@ type Pipeline struct {
 	sim          *similarityComputer
 	scored       []ScoredPair
 	forcedMerges [][2]int // curator same-author labels (SCN vertex pairs)
+	// inval is the reusable multi-source BFS scratch of incremental
+	// profile invalidation (never serialized; derived state only).
+	inval invalScratch
 }
 
 // ScoredPair is a candidate same-name SCN vertex pair with its fitted

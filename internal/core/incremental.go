@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -42,6 +43,52 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 	if pl.GCN == nil {
 		return nil, fmt.Errorf("core: AddPaper before BuildGCN")
 	}
+	return pl.addPaper(p)
+}
+
+// AddPapers is the batched form of AddPaper: it ingests the batch in
+// order, producing assignments bit-identical to calling AddPaper once
+// per paper (later papers in the batch see the registered state of
+// earlier ones, exactly like the serial stream). Batching shares the
+// per-ingest machinery across the whole batch — one invalidation pass
+// per paper's h-hop neighborhood (multi-source BFS over all new edges
+// instead of one walk per assigned vertex), one profile warm-up pass
+// over the union of every slot's candidates instead of one per slot,
+// and one growth of the stream-side columnar buffers — which is what
+// makes high-throughput ingest viable on ambiguous names.
+//
+// ctx is checked between papers: on cancellation the already-ingested
+// prefix stays registered (the returned slice holds its assignments)
+// and the context error is returned. A nil ctx means no cancellation.
+func (pl *Pipeline) AddPapers(ctx context.Context, batch []bib.Paper) ([][]Assignment, error) {
+	if pl.GCN == nil {
+		return nil, fmt.Errorf("core: AddPapers before BuildGCN")
+	}
+	// One growth for the whole batch: the per-paper appends below then
+	// stay within capacity (ingest-path allocations are per batch, not
+	// per paper).
+	pl.extra = slices.Grow(pl.extra, len(batch))
+	pl.extraKw = slices.Grow(pl.extraKw, len(batch))
+	pl.extraVenue = slices.Grow(pl.extraVenue, len(batch))
+	pl.extraYear = slices.Grow(pl.extraYear, len(batch))
+	out := make([][]Assignment, 0, len(batch))
+	for _, p := range batch {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		as, err := pl.addPaper(p)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, as)
+	}
+	return out, nil
+}
+
+// addPaper ingests one paper (shared by AddPaper and AddPapers).
+func (pl *Pipeline) addPaper(p bib.Paper) ([]Assignment, error) {
 	p.ID = bib.PaperID(pl.Corpus.Len() + len(pl.extra))
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -68,6 +115,24 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 	pl.extraKw = append(pl.extraKw, kwIDs)
 	pl.extraVenue = append(pl.extraVenue, venueID)
 	pl.extraYear = append(pl.extraYear, paper.Year)
+
+	// Warm the profile cache once for the union of every slot's candidate
+	// vertices. Slots are independent — co-author names are distinct
+	// within one paper (Validate enforces it), so no slot's assignment
+	// changes another slot's candidate set — and precomputeProfiles only
+	// builds what the cache misses, so assignSlot then scores against
+	// already-cached profiles: one parallel warm-up pass per paper
+	// instead of one per slot. Profile content is deterministic, so this
+	// changes which entries are cached, never a score.
+	if w := pl.Cfg.workers(); w > 1 && pl.Model != nil && len(paper.Authors) > 1 {
+		pl.inval.centers = pl.inval.centers[:0]
+		for idx := range paper.Authors {
+			pl.inval.centers = append(pl.inval.centers, pl.GCN.VerticesOfID(nameIDs[idx])...)
+		}
+		if len(pl.inval.centers) >= minParallelCandidates {
+			pl.sim.precomputeProfiles(pl.inval.centers)
+		}
+	}
 
 	out := make([]Assignment, 0, len(paper.Authors))
 	for idx := range paper.Authors {
@@ -103,32 +168,73 @@ func (pl *Pipeline) AddPaper(p bib.Paper) ([]Assignment, error) {
 		if radius < 1 {
 			radius = 1 // triangles reach 1 hop even when WL depth is 0
 		}
+		pl.inval.centers = pl.inval.centers[:0]
 		for _, a := range out {
-			pl.invalidateNeighborhood(a.Vertex, radius)
+			pl.inval.centers = append(pl.inval.centers, a.Vertex)
 		}
+		pl.invalidateNeighborhoods(pl.inval.centers, radius)
 	}
 	return out, nil
 }
 
-// invalidateNeighborhood drops the cached profiles of every vertex
-// within the given hop radius of center (inclusive).
-func (pl *Pipeline) invalidateNeighborhood(center, radius int) {
-	pl.sim.invalidate(center)
-	frontier := []int{center}
-	seen := map[int]struct{}{center: {}}
+// minParallelCandidates is the candidate-set size below which fanning
+// incremental scoring out over the worker pool costs more than scoring.
+const minParallelCandidates = 8
+
+// invalScratch is the reusable state of multi-source profile
+// invalidation: an epoch-stamped visited slice (no per-ingest map
+// allocation or clearing) plus frontier buffers, shared across every
+// ingest of one pipeline. Single-writer, like the rest of the ingest
+// path.
+type invalScratch struct {
+	stamp    []uint32
+	epoch    uint32
+	frontier []int
+	next     []int
+	centers  []int // also reused as the candidate-union scratch
+}
+
+// invalidateNeighborhoods drops the cached profiles of every vertex
+// within the given hop radius (inclusive) of ANY center, via one
+// multi-source BFS. The union of per-center balls equals running the
+// old single-source walk once per center — same invalidated set — but
+// overlapping neighborhoods (the common case: a new paper's assigned
+// vertices are all mutually adjacent after registration) are walked
+// once instead of once per assigned vertex.
+func (pl *Pipeline) invalidateNeighborhoods(centers []int, radius int) {
+	s := &pl.inval
+	if n := len(pl.GCN.Verts); len(s.stamp) < n {
+		grown := make([]uint32, n)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap: stale marks could alias, reset
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	s.frontier = s.frontier[:0]
+	for _, c := range centers {
+		if s.stamp[c] == s.epoch {
+			continue
+		}
+		s.stamp[c] = s.epoch
+		pl.sim.invalidate(c)
+		s.frontier = append(s.frontier, c)
+	}
 	for d := 0; d < radius; d++ {
-		var next []int
-		for _, v := range frontier {
+		s.next = s.next[:0]
+		for _, v := range s.frontier {
 			pl.GCN.G.VisitNeighbors(v, func(u int) {
-				if _, dup := seen[u]; dup {
+				if s.stamp[u] == s.epoch {
 					return
 				}
-				seen[u] = struct{}{}
+				s.stamp[u] = s.epoch
 				pl.sim.invalidate(u)
-				next = append(next, u)
+				s.next = append(s.next, u)
 			})
 		}
-		frontier = next
+		s.frontier, s.next = s.next, s.frontier
 	}
 }
 
@@ -143,10 +249,8 @@ func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, nameIDs []intern.ID) (
 	best := -1
 	if len(candidates) > 0 && pl.Model != nil {
 		temp := pl.tempProfile(paper, idx, nameIDs)
-		// Below this size the fan-out costs more than the scoring.
-		const minParallel = 8
 		var scores []float64
-		if w := pl.Cfg.workers(); w > 1 && len(candidates) >= minParallel {
+		if w := pl.Cfg.workers(); w > 1 && len(candidates) >= minParallelCandidates {
 			pl.sim.precomputeProfiles(candidates)
 			scores = sched.Map(w, len(candidates), func(k int) float64 {
 				full := pl.sim.similaritiesOfProfiles(temp, pl.sim.mustProfile(candidates[k]))

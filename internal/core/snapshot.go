@@ -17,6 +17,14 @@ import (
 // layout change in this file or the EncodeSnapshot methods it calls.
 const SnapshotVersion = 1
 
+// ServiceSnapshotVersion is the wire-format version of service-level
+// snapshots (SaveService/LoadService): a small serving header followed
+// by the same pipeline body as SnapshotVersion streams. Service
+// versions live in their own 1000+ namespace so a pipeline snapshot
+// can never be mistaken for a service snapshot (or vice versa) as the
+// two formats evolve independently.
+const ServiceSnapshotVersion = 1001
+
 // SavePipeline serializes a fitted pipeline — corpus, interned-table
 // tails, embeddings, SCN, GCN, fitted model, calibration, retained pair
 // scores and the incremental stream — so a server can restart and answer
@@ -34,7 +42,51 @@ func SavePipeline(w io.Writer, pl *Pipeline) error {
 		return fmt.Errorf("core: SavePipeline before BuildGCN")
 	}
 	sw := snapshot.NewWriter(w, SnapshotVersion)
+	if err := encodePipelineBody(sw, pl); err != nil {
+		return err
+	}
+	return sw.Close()
+}
 
+// SaveService serializes a serving snapshot: the publish epoch of the
+// served view followed by the full pipeline state. The view itself is
+// derived state (it is rebuilt from the pipeline on load, at the saved
+// epoch), so the wire format carries no view bytes — exactly like the
+// profile cache, a rebuilt view is bit-equivalent to the one that was
+// being served.
+func SaveService(w io.Writer, pl *Pipeline, epoch uint64) error {
+	if pl == nil || pl.GCN == nil || pl.SCN == nil {
+		return fmt.Errorf("core: SaveService before BuildGCN")
+	}
+	sw := snapshot.NewWriter(w, ServiceSnapshotVersion)
+	sw.Uvarint(epoch)
+	if err := encodePipelineBody(sw, pl); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// LoadService reconstructs a pipeline and its publish epoch from a
+// stream written by SaveService.
+func LoadService(r io.Reader) (*Pipeline, uint64, error) {
+	sr, err := snapshot.NewReader(r, ServiceSnapshotVersion)
+	if err != nil {
+		return nil, 0, err
+	}
+	epoch := sr.Uvarint()
+	if err := sr.Err(); err != nil {
+		return nil, 0, err
+	}
+	pl, err := decodePipelineBody(sr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pl, epoch, nil
+}
+
+// encodePipelineBody writes the pipeline payload shared by pipeline-
+// and service-level snapshots onto an already-opened writer.
+func encodePipelineBody(sw *snapshot.Writer, pl *Pipeline) error {
 	cfgJSON, err := json.Marshal(&pl.Cfg)
 	if err != nil {
 		return fmt.Errorf("core: marshal config: %w", err)
@@ -77,7 +129,7 @@ func SavePipeline(w io.Writer, pl *Pipeline) error {
 	for i := range pl.extra {
 		bib.EncodePaperSnapshot(sw, &pl.extra[i])
 	}
-	return sw.Close()
+	return sw.Err()
 }
 
 // LoadPipeline reconstructs a pipeline saved by SavePipeline. The
@@ -89,6 +141,12 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodePipelineBody(sr)
+}
+
+// decodePipelineBody reads the pipeline payload shared by pipeline-
+// and service-level snapshots from an already-opened reader.
+func decodePipelineBody(sr *snapshot.Reader) (*Pipeline, error) {
 	cfgJSON := sr.Bytes()
 	if err := sr.Err(); err != nil {
 		return nil, err

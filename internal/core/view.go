@@ -1,0 +1,409 @@
+package core
+
+import (
+	"iuad/internal/bib"
+)
+
+// This file implements the published read-model behind the serving API
+// (iuad.Service): an immutable View that answers author queries without
+// any lock, and the ViewPublisher that derives a fresh View from the
+// pipeline after each write epoch.
+//
+// Concurrency contract. A View is deeply immutable: once published,
+// none of its reachable state is ever written again, so any number of
+// goroutines may query it while the single writer keeps mutating the
+// pipeline and publishing later epochs. Three sharing disciplines make
+// publishing cheap without breaking that contract:
+//
+//   - Append-only slices (slot table, vertex names, streamed papers):
+//     the publisher appends to its own backing array and each View
+//     holds a length-bounded header. Readers never index past their
+//     header's length, and published entries are never overwritten, so
+//     sharing one backing array across epochs is race-free even while
+//     the publisher appends (append either writes past every published
+//     length or relocates to a new array).
+//
+//   - Copy-on-write entries (per-vertex paper sets): unionPapers never
+//     mutates a slice it returns — growth allocates a fresh slice — so
+//     a View can hold the pipeline's own per-vertex slice headers.
+//
+//   - Base + delta layering (vertex-indexed paper/coauthor tables, the
+//     name index): the bulk of the table lives in a shared immutable
+//     base; entries touched since the base was built live in a small
+//     immutable delta map that is re-copied (and occasionally flattened
+//     into a new base) at each publish. Lookups consult the delta
+//     first. This keeps per-publish cost proportional to the write's
+//     touch set, not to the corpus.
+//
+// Everything here runs under the service's writer lock except the View
+// read methods, which are lock-free by construction.
+
+// ServiceStats is the point-in-time summary served by Stats(): the
+// epoch it was published at and the sizes of the published network.
+type ServiceStats struct {
+	// Epoch counts publishes; it increases by exactly one per write
+	// batch, so readers can detect progress and tests can assert that
+	// no partially-published state is ever observable.
+	Epoch uint64 `json:"epoch"`
+	// Papers = CorpusPapers + StreamedPapers.
+	Papers         int `json:"papers"`
+	CorpusPapers   int `json:"corpus_papers"`
+	StreamedPapers int `json:"streamed_papers"`
+	// Authors is the number of conjectured authors (GCN vertices).
+	Authors int `json:"authors"`
+	// Names is the number of distinct author-name strings seen.
+	Names int `json:"names"`
+	// Edges is the number of collaboration edges.
+	Edges int `json:"edges"`
+	// Slots is the number of assigned author occurrences.
+	Slots int `json:"slots"`
+}
+
+// View is one published epoch of the serving read-model. All methods
+// are safe for concurrent use without synchronization; slices returned
+// by methods are shared with the view and MUST NOT be mutated.
+type View struct {
+	stats  ServiceStats
+	corpus *bib.Corpus
+	extra  []bib.Paper // streamed papers (append-only shared header)
+
+	// slotOff[p]..slotOff[p+1] indexes slotVert for paper p's slots.
+	slotOff  []int32 // len = stats.Papers + 1 (append-only shared)
+	slotVert []int32 // assigned vertex per slot (append-only shared)
+
+	names []string // per-vertex author name (append-only shared)
+
+	papersBase  [][]bib.PaperID
+	papersDelta map[int32][]bib.PaperID
+
+	coauthBase  [][]int32
+	coauthDelta map[int32][]int32
+
+	byNameBase  map[string][]int32
+	byNameDelta map[string][]int32
+}
+
+// Epoch returns the publish epoch of this view.
+func (v *View) Epoch() uint64 { return v.stats.Epoch }
+
+// Stats returns the sizes of the published network.
+func (v *View) Stats() ServiceStats { return v.stats }
+
+// NumVertices returns the number of published authors (vertices).
+func (v *View) NumVertices() int { return v.stats.Authors }
+
+// AuthorName returns the name of vertex id, and whether id is a
+// published vertex.
+func (v *View) AuthorName(id int) (string, bool) {
+	if id < 0 || id >= len(v.names) {
+		return "", false
+	}
+	return v.names[id], true
+}
+
+// AuthorPapers returns the sorted paper IDs attributed to vertex id.
+// The slice is shared with the view; do not mutate.
+func (v *View) AuthorPapers(id int) ([]bib.PaperID, bool) {
+	if id < 0 || id >= v.stats.Authors {
+		return nil, false
+	}
+	if p, ok := v.papersDelta[int32(id)]; ok {
+		return p, true
+	}
+	if id < len(v.papersBase) {
+		return v.papersBase[id], true
+	}
+	return nil, true
+}
+
+// Coauthors returns the sorted vertex IDs adjacent to vertex id in the
+// published collaboration network. The slice is shared; do not mutate.
+func (v *View) Coauthors(id int) ([]int32, bool) {
+	if id < 0 || id >= v.stats.Authors {
+		return nil, false
+	}
+	if c, ok := v.coauthDelta[int32(id)]; ok {
+		return c, true
+	}
+	if id < len(v.coauthBase) {
+		return v.coauthBase[id], true
+	}
+	return nil, true
+}
+
+// VerticesOfName returns the ascending vertex IDs carrying the exact
+// author name. The slice is shared; do not mutate.
+func (v *View) VerticesOfName(name string) []int32 {
+	if ids, ok := v.byNameDelta[name]; ok {
+		return ids
+	}
+	return v.byNameBase[name]
+}
+
+// ResolveSlot returns the vertex the (paper, index) author occurrence
+// is assigned to, or false when the slot is outside the published
+// epoch.
+func (v *View) ResolveSlot(s Slot) (int, bool) {
+	p := int(s.Paper)
+	if p < 0 || p >= v.stats.Papers {
+		return 0, false
+	}
+	lo, hi := v.slotOff[p], v.slotOff[p+1]
+	if s.Index < 0 || int32(s.Index) >= hi-lo {
+		return 0, false
+	}
+	vert := v.slotVert[lo+int32(s.Index)]
+	if vert < 0 {
+		return 0, false
+	}
+	return int(vert), true
+}
+
+// PaperMeta resolves a published paper record — corpus papers and
+// streamed papers alike. The returned record is immutable.
+func (v *View) PaperMeta(id bib.PaperID) (*bib.Paper, bool) {
+	if id < 0 || int(id) >= v.stats.Papers {
+		return nil, false
+	}
+	if int(id) < v.stats.CorpusPapers {
+		return v.corpus.Paper(id), true
+	}
+	return &v.extra[int(id)-v.stats.CorpusPapers], true
+}
+
+// flattenSlack bounds how large a delta may grow relative to its base
+// before a publish folds it into a fresh base: len(delta) is kept under
+// flattenMin + len(base)/flattenDiv, so lookup stays O(1) with a small
+// constant and per-publish cost stays proportional to the touch set,
+// amortized.
+const (
+	flattenMin = 64
+	flattenDiv = 4
+)
+
+// ViewPublisher derives Views from a pipeline. It is single-writer: all
+// methods must run under the owning service's write lock. The published
+// Views it hands out are immutable and may be read concurrently with
+// later Publish calls.
+type ViewPublisher struct {
+	pl  *Pipeline
+	cur *View
+
+	// Append-only builders (Views hold length-bounded headers).
+	slotOff  []int32
+	slotVert []int32
+	names    []string
+}
+
+// NewViewPublisher builds the initial full view of pl at the given
+// epoch (0 for a freshly built pipeline; a snapshot restore passes the
+// epoch it saved). The initial build is O(V + E + slots); every later
+// Publish is proportional to the write's touch set.
+func NewViewPublisher(pl *Pipeline, epoch uint64) *ViewPublisher {
+	vp := &ViewPublisher{pl: pl}
+	gcn := pl.GCN
+	nVerts := len(gcn.Verts)
+
+	papers := corpusLen(pl)
+	vp.slotOff = make([]int32, 1, papers+1)
+	for pid := 0; pid < papers; pid++ {
+		n := len(pl.PaperByID(bib.PaperID(pid)).Authors)
+		for idx := 0; idx < n; idx++ {
+			vert, ok := gcn.SlotVertex[Slot{Paper: bib.PaperID(pid), Index: idx}]
+			if !ok {
+				vert = -1
+			}
+			vp.slotVert = append(vp.slotVert, int32(vert))
+		}
+		vp.slotOff = append(vp.slotOff, int32(len(vp.slotVert)))
+	}
+
+	vp.names = make([]string, nVerts)
+	papersBase := make([][]bib.PaperID, nVerts)
+	coauthBase := make([][]int32, nVerts)
+	byNameBase := make(map[string][]int32)
+	for i := 0; i < nVerts; i++ {
+		vert := &gcn.Verts[i]
+		vp.names[i] = vert.Name
+		papersBase[i] = vert.Papers
+		coauthBase[i] = neighborIDs(gcn, i)
+		byNameBase[vert.Name] = append(byNameBase[vert.Name], int32(i))
+	}
+
+	vp.cur = &View{
+		stats:       vp.statsAt(epoch),
+		corpus:      pl.Corpus,
+		extra:       pl.extra,
+		slotOff:     vp.slotOff,
+		slotVert:    vp.slotVert,
+		names:       vp.names,
+		papersBase:  papersBase,
+		papersDelta: map[int32][]bib.PaperID{},
+		coauthBase:  coauthBase,
+		coauthDelta: map[int32][]int32{},
+		byNameBase:  byNameBase,
+		byNameDelta: map[string][]int32{},
+	}
+	return vp
+}
+
+// Current returns the most recently published view.
+func (vp *ViewPublisher) Current() *View { return vp.cur }
+
+// Publish folds one write batch — the assignments AddPapers returned —
+// into a fresh immutable View and returns it. It must be called with
+// the assignments of every paper ingested since the previous Publish,
+// in ingest order; the write's touch set is exactly the assigned
+// vertices (papers and edges only ever change there), so that is all
+// Publish copies.
+func (vp *ViewPublisher) Publish(batches [][]Assignment) *View {
+	prev := vp.cur
+	pl := vp.pl
+	gcn := pl.GCN
+
+	// Slot table: append the new papers' slots (append-only sharing).
+	for _, as := range batches {
+		for _, a := range as {
+			vp.slotVert = append(vp.slotVert, int32(a.Vertex))
+		}
+		vp.slotOff = append(vp.slotOff, int32(len(vp.slotVert)))
+	}
+
+	// New vertices: extend the name column and index them under their
+	// name (created vertices are also in the assigned touch set below).
+	// The previous view's delta map is copied at most once per publish;
+	// later changes mutate the private copy.
+	byNameDelta := prev.byNameDelta
+	nameCopied := false
+	for i := len(vp.names); i < len(gcn.Verts); i++ {
+		name := gcn.Verts[i].Name
+		vp.names = append(vp.names, name)
+		if !nameCopied {
+			byNameDelta = make(map[string][]int32, len(prev.byNameDelta)+1)
+			for k, ids := range prev.byNameDelta {
+				byNameDelta[k] = ids
+			}
+			nameCopied = true
+		}
+		cur, ok := byNameDelta[name]
+		if !ok {
+			cur = prev.byNameBase[name]
+		}
+		byNameDelta[name] = append(append(make([]int32, 0, len(cur)+1), cur...), int32(i))
+	}
+
+	// Touched vertices: fresh paper-set headers (copy-on-write slices,
+	// safe to share) and freshly materialized coauthor lists (graph
+	// adjacency mutates in place, so it must be copied out here).
+	papersDelta := prev.papersDelta
+	coauthDelta := prev.coauthDelta
+	copied := false
+	for _, as := range batches {
+		for _, a := range as {
+			if !copied {
+				papersDelta = copyPapersDelta(prev.papersDelta, len(batches))
+				coauthDelta = copyCoauthDelta(prev.coauthDelta, len(batches))
+				copied = true
+			}
+			papersDelta[int32(a.Vertex)] = gcn.Verts[a.Vertex].Papers
+			coauthDelta[int32(a.Vertex)] = neighborIDs(gcn, a.Vertex)
+		}
+	}
+
+	next := &View{
+		stats:       vp.statsAt(prev.stats.Epoch + 1),
+		corpus:      pl.Corpus,
+		extra:       pl.extra,
+		slotOff:     vp.slotOff,
+		slotVert:    vp.slotVert,
+		names:       vp.names,
+		papersBase:  prev.papersBase,
+		papersDelta: papersDelta,
+		coauthBase:  prev.coauthBase,
+		coauthDelta: coauthDelta,
+		byNameBase:  prev.byNameBase,
+		byNameDelta: byNameDelta,
+	}
+	vp.flatten(next)
+	vp.cur = next
+	return next
+}
+
+// statsAt reads the pipeline's current sizes (writer-locked).
+func (vp *ViewPublisher) statsAt(epoch uint64) ServiceStats {
+	pl := vp.pl
+	return ServiceStats{
+		Epoch:          epoch,
+		Papers:         corpusLen(pl),
+		CorpusPapers:   pl.Corpus.Len(),
+		StreamedPapers: len(pl.extra),
+		Authors:        len(pl.GCN.Verts),
+		Names:          pl.Corpus.NameTable().Len(),
+		Edges:          pl.GCN.EdgeCount(),
+		Slots:          len(vp.slotVert),
+	}
+}
+
+// flatten folds any oversized delta into a fresh base so lookups stay
+// cheap; bases are rebuilt at most every O(base/flattenDiv) touches.
+func (vp *ViewPublisher) flatten(v *View) {
+	n := v.stats.Authors
+	if len(v.papersDelta) > flattenMin+len(v.papersBase)/flattenDiv {
+		base := make([][]bib.PaperID, n)
+		copy(base, v.papersBase)
+		for id, p := range v.papersDelta {
+			base[id] = p
+		}
+		v.papersBase, v.papersDelta = base, map[int32][]bib.PaperID{}
+	}
+	if len(v.coauthDelta) > flattenMin+len(v.coauthBase)/flattenDiv {
+		base := make([][]int32, n)
+		copy(base, v.coauthBase)
+		for id, c := range v.coauthDelta {
+			base[id] = c
+		}
+		v.coauthBase, v.coauthDelta = base, map[int32][]int32{}
+	}
+	if len(v.byNameDelta) > flattenMin+len(v.byNameBase)/flattenDiv {
+		base := make(map[string][]int32, len(v.byNameBase)+len(v.byNameDelta))
+		for name, ids := range v.byNameBase {
+			base[name] = ids
+		}
+		for name, ids := range v.byNameDelta {
+			base[name] = ids
+		}
+		v.byNameBase, v.byNameDelta = base, map[string][]int32{}
+	}
+}
+
+func copyPapersDelta(delta map[int32][]bib.PaperID, extra int) map[int32][]bib.PaperID {
+	out := make(map[int32][]bib.PaperID, len(delta)+extra)
+	for k, v := range delta {
+		out[k] = v
+	}
+	return out
+}
+
+func copyCoauthDelta(delta map[int32][]int32, extra int) map[int32][]int32 {
+	out := make(map[int32][]int32, len(delta)+extra)
+	for k, v := range delta {
+		out[k] = v
+	}
+	return out
+}
+
+// neighborIDs materializes the sorted adjacency of vertex v as a
+// private slice (graph adjacency mutates in place and cannot be
+// shared with lock-free readers).
+func neighborIDs(n *Network, v int) []int32 {
+	d := n.G.Degree(v)
+	if d == 0 {
+		return nil
+	}
+	out := make([]int32, 0, d)
+	n.G.VisitNeighbors(v, func(u int) { out = append(out, int32(u)) })
+	return out
+}
+
+// corpusLen is the total paper count: frozen corpus + streamed.
+func corpusLen(pl *Pipeline) int { return pl.Corpus.Len() + len(pl.extra) }

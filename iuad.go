@@ -16,6 +16,9 @@
 //
 // # Quick start
 //
+// The primary surface is the Service: a concurrency-safe disambiguator
+// you Open once and then query and feed for the life of the process.
+//
 //	corpus := iuad.NewCorpus(0)
 //	corpus.MustAdd(iuad.Paper{
 //		Title:   "Mining Frequent Patterns Without Candidate Generation",
@@ -26,13 +29,30 @@
 //	// ... add the rest of the paper database ...
 //	corpus.Freeze()
 //
-//	pipeline, err := iuad.Disambiguate(corpus, iuad.DefaultConfig())
+//	svc, err := iuad.Open(corpus,
+//		iuad.WithWorkers(8),            // worker pool (results identical for any value)
+//		iuad.WithSnapshot("iuad.snap")) // restore if present; persist on Close
 //	if err != nil { ... }
-//	// Every (paper, author-slot) now maps to a vertex = one author:
-//	v := pipeline.GCN.ClusterOfSlot(iuad.Slot{Paper: 0, Index: 0})
+//	defer svc.Close()
 //
-//	// Stream a newly published paper (§V-E) — no retraining:
-//	assignments, err := pipeline.AddPaper(iuad.Paper{ ... })
+//	// Query surface — lock-free, served from an immutable published view:
+//	author, err := svc.ResolveSlot(iuad.Slot{Paper: 0, Index: 0}) // who wrote slot 0 of paper 0?
+//	homonyms := svc.AuthorsByName("Jia Xu")                       // the split homonym set
+//	peers, err := svc.Coauthors(author.ID)
+//	stats := svc.Stats()
+//
+//	// Write surface — stream newly published papers (§V-E), no retraining.
+//	// Batches share per-neighborhood work and publish one epoch:
+//	assignments, err := svc.AddPapers(ctx, []iuad.Paper{ ... })
+//
+// Readers never block ingest and never observe a partially-applied
+// write: each write batch publishes a new immutable epoch, swapped in
+// with one atomic store. Open with WithSnapshot restores a saved
+// service with no EM re-run and bit-identical behavior.
+//
+// The lower-level batch API (Disambiguate returning a bare Pipeline)
+// remains for offline analysis — threshold sweeps, experiments,
+// evaluation — and is what Service wraps.
 //
 // # Parallelism
 //
@@ -52,9 +72,9 @@
 //
 // # Snapshots
 //
-// A fitted pipeline can be serialized as a versioned binary snapshot
-// and restored without re-running EM — the serving path for a process
-// that must answer AddPaper immediately after a restart:
+// A service persists itself via Service.Save / Service.Close (with
+// WithSnapshot) and restores via Open — no EM re-run, bit-identical
+// serving. The pipeline-level helpers remain underneath:
 //
 //	var buf bytes.Buffer
 //	if err := iuad.SavePipeline(&buf, pipeline); err != nil { ... }
@@ -156,12 +176,34 @@ func LoadCorpusFile(path string) (*Corpus, error) { return bib.LoadFile(path) }
 // SaveCorpusFile writes a JSONL corpus to disk.
 func SaveCorpusFile(path string, c *Corpus) error { return bib.SaveFile(path, c) }
 
+// DBLPStats reports what a DBLP parse saw and skipped, including the
+// dump's ground-truth label table (see ParseDBLPLabeled).
+type DBLPStats = bib.DBLPStats
+
+// DBLPLabels is the ground-truth identity table of a DBLP parse:
+// AuthorID ↔ the pre-normalization author key ("Wei Wang 0001").
+type DBLPLabels = bib.DBLPLabels
+
 // ParseDBLP streams a dblp.xml-format document into a corpus (maxPapers
 // 0 = unlimited). It tolerates the real dump's ISO-8859-1 encoding and
-// normalizes DBLP's numeric homonym suffixes away.
+// normalizes DBLP's numeric homonym suffixes away from the names the
+// disambiguator sees — but no longer discards what the suffixes encode:
+// each author slot's Paper.Truth carries the ground-truth identity the
+// dump's curators assigned, so parsed corpora are evaluation-ready.
+// Use ParseDBLPLabeled to also receive the parse stats and the label
+// table itself.
 func ParseDBLP(r io.Reader, maxPapers int) (*Corpus, error) {
 	c, _, err := bib.ParseDBLP(r, maxPapers)
 	return c, err
+}
+
+// ParseDBLPLabeled is ParseDBLP returning the parse stats alongside
+// the corpus: record/skip counters plus the ground-truth label table
+// (DBLPStats.Labels) mined from DBLP's numeric homonym suffixes — the
+// human-curated disambiguation decisions, exactly what evaluation
+// needs as ground truth.
+func ParseDBLPLabeled(r io.Reader, maxPapers int) (*Corpus, DBLPStats, error) {
+	return bib.ParseDBLP(r, maxPapers)
 }
 
 // DefaultConfig returns the paper-faithful parameterization (η=2, δ=0,
@@ -169,7 +211,13 @@ func ParseDBLP(r io.Reader, maxPapers int) (*Corpus, error) {
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Disambiguate runs the full two-stage IUAD algorithm (Alg. 1) on a
-// frozen corpus.
+// frozen corpus, returning the bare fitted pipeline.
+//
+// Deprecated: servers should use Open, which wraps this fit in the
+// concurrency-safe Service (lock-free queries, batched ingest,
+// snapshot-on-close). Disambiguate remains fully supported for
+// offline/batch analysis that needs the Pipeline directly (threshold
+// sweeps, experiments, evaluation).
 func Disambiguate(corpus *Corpus, cfg Config) (*Pipeline, error) {
 	return core.Run(corpus, cfg)
 }
@@ -180,9 +228,16 @@ func Disambiguate(corpus *Corpus, cfg Config) (*Pipeline, error) {
 // and any incrementally streamed papers. A restarted server loads the
 // snapshot and answers AddPaper immediately — no EM re-run — with
 // assignments bit-identical to the pipeline that never stopped.
+//
+// Deprecated: servers should persist through Service.Save (or Close
+// with WithSnapshot), which additionally records the serving epoch.
+// SavePipeline remains supported for pipeline-level tooling.
 func SavePipeline(w io.Writer, pl *Pipeline) error { return core.SavePipeline(w, pl) }
 
 // LoadPipeline reconstructs a pipeline saved by SavePipeline.
+//
+// Deprecated: servers should restore through Open with WithSnapshot.
+// LoadPipeline remains supported for pipeline-level tooling.
 func LoadPipeline(r io.Reader) (*Pipeline, error) { return core.LoadPipeline(r) }
 
 // SavePipelineFile writes a pipeline snapshot to path.

@@ -1,0 +1,395 @@
+package iuad
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"iuad/internal/bib"
+	"iuad/internal/core"
+)
+
+// Service is the serving-first face of IUAD: a concurrency-safe façade
+// over a fitted Pipeline with a lock-free query API and a serialized,
+// batched write API.
+//
+// # Read/write contract
+//
+// Writers (AddPaper / AddPapers) are serialized by an internal mutex;
+// after each write batch the service publishes a new immutable view —
+// an epoch — and swaps it in with a single atomic pointer store.
+// Readers (ResolveSlot, Author, Coauthors, AuthorsByName, Stats) load
+// that pointer once and answer entirely from the immutable epoch they
+// got: no lock, no blocking, and never a partially-applied write. A
+// reader may observe the epoch from just before a concurrent write —
+// never a torn one. See DESIGN.md §8.
+//
+// Construct a Service with Open (corpus in, fitted service out) or
+// NewService (wrap an already-fitted Pipeline).
+type Service struct {
+	mu           sync.Mutex // serializes writers and snapshotting
+	pl           *core.Pipeline
+	pub          *core.ViewPublisher
+	view         atomic.Pointer[core.View]
+	snapshotPath string
+	closed       bool
+}
+
+// Stats is the point-in-time summary served by Service.Stats.
+type Stats = core.ServiceStats
+
+// Author is the query API's author record: one conjectured real-world
+// author (a GCN vertex) with its attributed papers and the career
+// aggregates the collaboration-network literature queries — active
+// years and publishing venues.
+type Author struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	// Papers is sorted ascending; IDs resolve via Service.Paper.
+	Papers []PaperID `json:"papers"`
+	// FirstYear/LastYear span the author's dated papers (0 = no dated
+	// papers).
+	FirstYear int `json:"first_year"`
+	LastYear  int `json:"last_year"`
+	// Venues lists the author's distinct publishing venues, most
+	// frequent first (ties lexicographic).
+	Venues []string `json:"venues"`
+	// Coauthors is the author's degree in the collaboration network.
+	Coauthors int `json:"coauthors"`
+}
+
+// options collects the functional Open/NewService configuration.
+type options struct {
+	cfg          Config
+	cfgSet       bool
+	workers      int
+	workersSet   bool
+	snapshotPath string
+}
+
+// Option configures Open and NewService.
+type Option func(*options)
+
+// WithConfig replaces the pipeline configuration used when Open fits a
+// corpus (default: DefaultConfig). WithWorkers applies on top.
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg; o.cfgSet = true }
+}
+
+// WithWorkers bounds the pipeline's worker pool. Results are
+// bit-identical for every value; the knob only changes wall time.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n; o.workersSet = true }
+}
+
+// WithSnapshot binds the service to a snapshot file: Open loads it
+// instead of refitting when it exists (the corpus argument may then be
+// nil), and Close writes the current state back to it atomically
+// (write to a temp file, then rename).
+func WithSnapshot(path string) Option {
+	return func(o *options) { o.snapshotPath = path }
+}
+
+// Open builds a serving Service. With a snapshot option whose file
+// exists, the service is restored from it — no EM re-run, and the
+// restored service answers every query and ingest bit-identically to
+// the one that saved it. Otherwise the frozen corpus is disambiguated
+// with the configured pipeline (this is the expensive fit path).
+//
+//	svc, err := iuad.Open(corpus, iuad.WithWorkers(8), iuad.WithSnapshot("iuad.snap"))
+//	defer svc.Close()
+func Open(corpus *Corpus, opts ...Option) (*Service, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.snapshotPath != "" {
+		f, err := os.Open(o.snapshotPath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			pl, epoch, err := core.LoadService(f)
+			if err != nil {
+				return nil, fmt.Errorf("iuad: load snapshot %s: %w", o.snapshotPath, err)
+			}
+			return newService(pl, epoch, &o), nil
+		case !errors.Is(err, fs.ErrNotExist):
+			return nil, fmt.Errorf("iuad: open snapshot %s: %w", o.snapshotPath, err)
+		}
+	}
+	if corpus == nil {
+		return nil, ErrNoCorpus
+	}
+	if !corpus.Frozen() {
+		return nil, ErrNotFrozen
+	}
+	cfg := DefaultConfig()
+	if o.cfgSet {
+		cfg = o.cfg
+	}
+	if o.workersSet {
+		cfg.Workers = o.workers
+	}
+	pl, err := core.Run(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newService(pl, 0, &o), nil
+}
+
+// NewService wraps an already-fitted pipeline (e.g. one built with
+// Disambiguate, or restored with LoadPipeline) in the serving façade.
+// The pipeline must not be used directly while the service is serving:
+// the service owns all writes from here on.
+func NewService(pl *Pipeline, opts ...Option) (*Service, error) {
+	if pl == nil || pl.GCN == nil {
+		return nil, fmt.Errorf("iuad: NewService needs a fitted pipeline")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newService(pl, 0, &o), nil
+}
+
+func newService(pl *core.Pipeline, epoch uint64, o *options) *Service {
+	if o.workersSet {
+		pl.Cfg.Workers = o.workers
+	}
+	s := &Service{
+		pl:           pl,
+		pub:          core.NewViewPublisher(pl, epoch),
+		snapshotPath: o.snapshotPath,
+	}
+	s.view.Store(s.pub.Current())
+	return s
+}
+
+// AddPaper disambiguates and registers one newly published paper
+// (§V-E), publishing a new epoch. It is AddPapers with a batch of one.
+func (s *Service) AddPaper(ctx context.Context, p Paper) ([]Assignment, error) {
+	res, err := s.AddPapers(ctx, []Paper{p})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// AddPapers ingests a batch of newly published papers in order and
+// publishes one new epoch covering the whole batch. Assignments are
+// bit-identical to ingesting the papers one at a time — batching only
+// shares work (one invalidation pass per paper's neighborhood, one
+// profile warm-up per paper, one epoch publish per batch) — so batch
+// boundaries are a throughput choice, not a semantic one.
+//
+// ctx is checked between papers. On cancellation (or a validation
+// error) the already-ingested prefix is still published and returned
+// alongside the error; nothing of the failed paper is registered.
+func (s *Service) AddPapers(ctx context.Context, batch []Paper) ([][]Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	res, err := s.pl.AddPapers(ctx, batch)
+	if len(res) > 0 {
+		s.view.Store(s.pub.Publish(res))
+	}
+	return res, err
+}
+
+// Stats returns the sizes of the currently published epoch.
+func (s *Service) Stats() Stats { return s.view.Load().Stats() }
+
+// Epoch returns the current publish epoch (one publish per write
+// batch; readers can use it to detect progress).
+func (s *Service) Epoch() uint64 { return s.view.Load().Epoch() }
+
+// ResolveSlot answers "who wrote the Index-th name of this paper": the
+// author the slot is assigned to in the published network.
+func (s *Service) ResolveSlot(slot Slot) (Author, error) {
+	v := s.view.Load()
+	id, ok := v.ResolveSlot(slot)
+	if !ok {
+		return Author{}, fmt.Errorf("%w: paper %d index %d", ErrUnknownSlot, slot.Paper, slot.Index)
+	}
+	a, _ := authorAt(v, id)
+	return a, nil
+}
+
+// Author returns the author record for a vertex ID (as returned by
+// assignments, ResolveSlot, Coauthors or AuthorsByName).
+func (s *Service) Author(id int) (Author, error) {
+	v := s.view.Load()
+	a, ok := authorAt(v, id)
+	if !ok {
+		return Author{}, fmt.Errorf("%w: %d", ErrUnknownAuthor, id)
+	}
+	return a, nil
+}
+
+// Coauthors returns the authors adjacent to id in the published
+// collaboration network, ascending by ID. Records are fully
+// materialized (papers, years, venues), so the cost is proportional to
+// the neighbors' total paper count — on hub authors of a scale-free
+// network that is the expensive read; callers that only need IDs or
+// degrees should take Author(id).Coauthors instead.
+func (s *Service) Coauthors(id int) ([]Author, error) {
+	v := s.view.Load()
+	nbrs, ok := v.Coauthors(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAuthor, id)
+	}
+	out := make([]Author, 0, len(nbrs))
+	for _, u := range nbrs {
+		if a, ok := authorAt(v, int(u)); ok {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// AuthorsByName returns every published author carrying the exact
+// name, ascending by ID — the homonym set the disambiguator split the
+// name into. An unknown name yields an empty slice, not an error.
+func (s *Service) AuthorsByName(name string) []Author {
+	v := s.view.Load()
+	ids := v.VerticesOfName(name)
+	out := make([]Author, 0, len(ids))
+	for _, id := range ids {
+		if a, ok := authorAt(v, int(id)); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Paper resolves a published paper record — corpus and streamed papers
+// alike. The returned record is shared and must not be mutated.
+func (s *Service) Paper(id PaperID) (*Paper, error) {
+	p, ok := s.view.Load().PaperMeta(id)
+	if !ok {
+		return nil, fmt.Errorf("iuad: unknown paper id %d", id)
+	}
+	return p, nil
+}
+
+// Save writes a service snapshot (serving header + full pipeline
+// state) to w. A service restored from it with Open answers every
+// query and ingest bit-identically.
+func (s *Service) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.SaveService(w, s.pl, s.view.Load().Epoch())
+}
+
+// SaveFile writes a service snapshot to path atomically (temp file +
+// rename).
+func (s *Service) SaveFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveFileLocked(path)
+}
+
+func (s *Service) saveFileLocked(path string) error {
+	// The temp file lands next to the target (same filesystem), so the
+	// rename is atomic.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".iuad-snap-*")
+	if err != nil {
+		return err
+	}
+	if err := core.SaveService(tmp, s.pl, s.view.Load().Epoch()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Close shuts the write API down. When the service was opened with
+// WithSnapshot, Close first persists the current state to that path,
+// so a process driving Close on shutdown restarts exactly where it
+// stopped. Reads keep working against the last published epoch.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	// Persist BEFORE marking closed: a failed save (disk full, ...)
+	// leaves the service open so a later Close can retry the snapshot
+	// instead of reporting success for state that was never written.
+	if s.snapshotPath != "" {
+		if err := s.saveFileLocked(s.snapshotPath); err != nil {
+			return err
+		}
+	}
+	s.closed = true
+	return nil
+}
+
+// Pipeline exposes the underlying fitted pipeline for offline analysis
+// (threshold sweeps, evaluation). It must not be mutated — and not
+// read concurrently with service writes; the serving query surface is
+// the Service API.
+func (s *Service) Pipeline() *Pipeline { return s.pl }
+
+// authorAt materializes the Author record of vertex id from one
+// immutable view (lock-free; touches nothing owned by the writer).
+func authorAt(v *core.View, id int) (Author, bool) {
+	name, ok := v.AuthorName(id)
+	if !ok {
+		return Author{}, false
+	}
+	papers, _ := v.AuthorPapers(id)
+	nbrs, _ := v.Coauthors(id)
+	a := Author{
+		ID:        id,
+		Name:      name,
+		Papers:    append([]bib.PaperID(nil), papers...),
+		Coauthors: len(nbrs),
+	}
+	venueCount := make(map[string]int)
+	for _, pid := range papers {
+		p, ok := v.PaperMeta(pid)
+		if !ok {
+			continue
+		}
+		if p.Year != 0 {
+			if a.FirstYear == 0 || p.Year < a.FirstYear {
+				a.FirstYear = p.Year
+			}
+			if p.Year > a.LastYear {
+				a.LastYear = p.Year
+			}
+		}
+		if p.Venue != "" {
+			venueCount[p.Venue]++
+		}
+	}
+	if len(venueCount) > 0 {
+		a.Venues = make([]string, 0, len(venueCount))
+		for venue := range venueCount {
+			a.Venues = append(a.Venues, venue)
+		}
+		sort.Slice(a.Venues, func(i, j int) bool {
+			ci, cj := venueCount[a.Venues[i]], venueCount[a.Venues[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return a.Venues[i] < a.Venues[j]
+		})
+	}
+	return a, true
+}

@@ -1,0 +1,185 @@
+package iuad_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"iuad"
+)
+
+// TestServiceConcurrentReadersDuringIngest is the serving concurrency
+// contract, meant to run under -race: a stream of AddPapers batches
+// runs against continuously querying readers, and
+//
+//   - readers only ever observe fully-published epochs: every view is
+//     internally consistent (authors reference only published papers,
+//     coauthor and homonym edges stay inside the published vertex
+//     range, every published slot resolves to an author owning the
+//     paper), and epochs/paper counts advance monotonically per
+//     reader;
+//   - the final assignments are bit-identical to a serial AddPaper
+//     stream on a pipeline that was never served concurrently.
+func TestServiceConcurrentReadersDuringIngest(t *testing.T) {
+	d := serviceDataset(53)
+	cfg := equivCoreConfig(2)
+	svc, err := iuad.Open(d.Corpus, iuad.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const (
+		readers   = 4
+		batches   = 12
+		batchSize = 4
+	)
+	papers := streamProbes(d, "race", batches*batchSize)
+	maxPapers := d.Corpus.Len() + len(papers)
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lastEpoch uint64
+			var lastPapers int
+			for !done.Load() {
+				st := svc.Stats()
+				if st.Epoch < lastEpoch || st.Papers < lastPapers {
+					t.Errorf("time went backwards: epoch %d→%d papers %d→%d",
+						lastEpoch, st.Epoch, lastPapers, st.Papers)
+					return
+				}
+				lastEpoch, lastPapers = st.Epoch, st.Papers
+
+				// A random published author is fully consistent with the
+				// stats of the same view... or a NEWER one: Author() loads
+				// the pointer again, so its view can only be >= the one
+				// Stats() came from — bounds only ever grow.
+				id := rng.Intn(st.Authors)
+				a, err := svc.Author(id)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, pid := range a.Papers {
+					if int(pid) >= maxPapers {
+						fail(errOutOfRange("paper", int(pid), maxPapers))
+						return
+					}
+				}
+				// Coauthors() loads its own (possibly newer) view, and
+				// degrees only ever grow across epochs.
+				peers, err := svc.Coauthors(id)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if len(peers) < a.Coauthors {
+					fail(errOutOfRange("coauthors shrank", len(peers), a.Coauthors))
+					return
+				}
+				for _, h := range svc.AuthorsByName(a.Name) {
+					if h.Name != a.Name {
+						fail(errOutOfRange("homonym name", 0, 1))
+						return
+					}
+				}
+				// Every slot of a random published paper resolves, and the
+				// resolved author owns the paper — the partial-publish
+				// detector: a half-applied write would break one of the two.
+				pid := iuad.PaperID(rng.Intn(st.Papers))
+				p, err := svc.Paper(pid)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for idx := range p.Authors {
+					ra, err := svc.ResolveSlot(iuad.Slot{Paper: pid, Index: idx})
+					if err != nil {
+						fail(err)
+						return
+					}
+					owns := false
+					for _, apid := range ra.Papers {
+						if apid == pid {
+							owns = true
+							break
+						}
+					}
+					if !owns {
+						fail(errOutOfRange("slot owner papers", int(pid), len(ra.Papers)))
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	var served [][]iuad.Assignment
+	for b := 0; b < batches; b++ {
+		res, err := svc.AddPapers(context.Background(), papers[b*batchSize:(b+1)*batchSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		served = append(served, res...)
+	}
+	done.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if got := svc.Stats(); got.Epoch != batches || got.StreamedPapers != len(papers) {
+		t.Fatalf("final stats %+v, want epoch %d and %d streamed papers", got, batches, len(papers))
+	}
+
+	// Serial reference: same corpus, same config, one AddPaper per
+	// paper, no concurrency. Assignments must match bit for bit.
+	ref, err := iuad.Disambiguate(d.Corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := addAll(t, ref, papers)
+	if len(want) != len(served) {
+		t.Fatalf("served %d papers, reference %d", len(served), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			a, b := want[i][j], served[i][j]
+			if a.Slot != b.Slot || a.Vertex != b.Vertex || a.Created != b.Created ||
+				math.Float64bits(a.Score) != math.Float64bits(b.Score) {
+				t.Fatalf("paper %d slot %d: serial %+v, served %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// errOutOfRange builds a descriptive invariant-violation error without
+// pulling fmt into the hot reader loop signature.
+type invariantErr struct {
+	what      string
+	got, want int
+}
+
+func (e *invariantErr) Error() string {
+	return "service invariant violated: " + e.what
+}
+
+func errOutOfRange(what string, got, want int) error {
+	return &invariantErr{what: what, got: got, want: want}
+}
