@@ -37,8 +37,11 @@ import (
 	"strings"
 	"time"
 
+	"math/rand"
+
 	"iuad/internal/bib"
 	"iuad/internal/core"
+	"iuad/internal/emfit"
 	"iuad/internal/experiments"
 )
 
@@ -52,12 +55,16 @@ type Result struct {
 	// Stage1NsPerOp/Stage2NsPerOp split the op into BuildSCN and
 	// BuildGCN; StageNs breaks stage 2 down further (score-initial,
 	// fit-prep, em-fit, decision, refine-round-N).
-	Stage1NsPerOp  int64            `json:"stage1_ns_per_op"`
-	Stage2NsPerOp  int64            `json:"stage2_ns_per_op"`
-	StageNs        map[string]int64 `json:"stage_ns"`
-	BytesPerOp     uint64           `json:"bytes_per_op"`
-	AllocsPerOp    uint64           `json:"allocs_per_op"`
-	HeapInUseAfter uint64           `json:"heap_in_use_after"`
+	Stage1NsPerOp int64            `json:"stage1_ns_per_op"`
+	Stage2NsPerOp int64            `json:"stage2_ns_per_op"`
+	StageNs       map[string]int64 `json:"stage_ns"`
+	// EMIterations is how many EM rounds the model fit of the best rep
+	// ran — the stage breakdown's em-fit time divided by this gives
+	// ns/iteration.
+	EMIterations   int    `json:"em_iterations"`
+	BytesPerOp     uint64 `json:"bytes_per_op"`
+	AllocsPerOp    uint64 `json:"allocs_per_op"`
+	HeapInUseAfter uint64 `json:"heap_in_use_after"`
 }
 
 // Baseline is an optional reference measurement embedded via flags.
@@ -85,6 +92,38 @@ type IngestReport struct {
 	Papers  int            `json:"papers"`
 	Workers int            `json:"workers"`
 	Results []IngestResult `json:"results"`
+}
+
+// EMFitBaseline is a reference measurement of the model-fit path,
+// embedded so BENCH_emfit.json carries its own before/after comparison.
+type EMFitBaseline struct {
+	Label          string `json:"label"`
+	ScoreInitialNs int64  `json:"score_initial_ns"`
+	FitPrepNs      int64  `json:"fit_prep_ns"`
+	EMFitNs        int64  `json:"em_fit_ns"`
+}
+
+// EMFitReport is the -emfit measurement: the model-fit path of the
+// engine (fit-prep = splitting/anchor sampling/training-matrix
+// assembly, em-fit = columnar EM + calibration, score-initial =
+// candidate similarity vectors) plus the EM iteration count and the
+// steady-state allocation cost of one EM iteration.
+type EMFitReport struct {
+	Workers        int   `json:"workers"`
+	ScoreInitialNs int64 `json:"score_initial_ns"`
+	FitPrepNs      int64 `json:"fit_prep_ns"`
+	EMFitNs        int64 `json:"em_fit_ns"`
+	CombinedNs     int64 `json:"fit_prep_plus_em_fit_ns"`
+	EMIterations   int   `json:"em_iterations"`
+	TrainingPairs  int   `json:"training_pairs"`
+	// AllocsPerEMIteration is measured on an engine-shaped synthetic
+	// fit (difference of two iteration budgets over identical data);
+	// the columnar engine pins this at 0 (TestAllocsEMIteration).
+	AllocsPerEMIteration float64        `json:"allocs_per_em_iteration"`
+	Baseline             *EMFitBaseline `json:"baseline,omitempty"`
+	// CombinedSpeedupVsBaseline is baseline (fit-prep + em-fit) over
+	// measured (fit-prep + em-fit).
+	CombinedSpeedupVsBaseline float64 `json:"fit_prep_plus_em_fit_speedup_vs_baseline,omitempty"`
 }
 
 // Report is the emitted document.
@@ -124,6 +163,15 @@ func main() {
 		s2Note   = flag.String("stage2-baseline-label", "previous stage-2 (BuildGCN) measurement, workers=1", "label for the embedded stage-2 baseline")
 		ingest   = flag.Int("ingest", 0, "measure serving-path ingest over this many streamed papers (0 = skip)")
 		ingestBS = flag.String("ingest-batches", "1,16,128", "comma-separated AddPapers batch sizes (1 = AddPaper one-at-a-time)")
+		emfitOn  = flag.Bool("emfit", false, "emit the model-fit path report (fit-prep/em-fit/score ns, EM iterations, allocs per iteration)")
+		emfitOut = flag.String("emfit-out", "BENCH_emfit.json", "output path of the -emfit report")
+		// PR-4 model-fit measurements (row-major EM engine, map-built
+		// venue index, workers=1, quick scale) embedded as the default
+		// baseline of the -emfit report.
+		emfitBaseScore = flag.Int64("emfit-baseline-score-ns", 27644979, "baseline score-initial ns (0 = no baseline)")
+		emfitBasePrep  = flag.Int64("emfit-baseline-fitprep-ns", 40222406, "baseline fit-prep ns")
+		emfitBaseFit   = flag.Int64("emfit-baseline-emfit-ns", 41764607, "baseline em-fit ns")
+		emfitBaseNote  = flag.String("emfit-baseline-label", "PR-4 row-major EM engine, workers=1, quick scale", "label for the embedded em-fit baseline")
 	)
 	flag.Parse()
 
@@ -163,6 +211,7 @@ func main() {
 	type oneRun struct {
 		total, stage1, stage2     time.Duration
 		stages                    map[string]int64
+		emIters, trainingPairs    int
 		bytesOp, allocsOp, heapOp uint64
 	}
 	run := func(w int) oneRun {
@@ -192,6 +241,10 @@ func main() {
 			stages:   stages,
 			bytesOp:  after.TotalAlloc - before.TotalAlloc,
 			allocsOp: after.Mallocs - before.Mallocs,
+		}
+		if pl.Model != nil {
+			r.emIters = pl.Model.Iterations
+			r.trainingPairs = pl.TrainingPairs
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&after)
@@ -250,10 +303,36 @@ func main() {
 			Stage1NsPerOp:   best.stage1.Nanoseconds(),
 			Stage2NsPerOp:   best.stage2.Nanoseconds(),
 			StageNs:         best.stages,
+			EMIterations:    best.emIters,
 			BytesPerOp:      best.bytesOp,
 			AllocsPerOp:     best.allocsOp,
 			HeapInUseAfter:  best.heapOp,
 		})
+		if *emfitOn && w == 1 {
+			em := &EMFitReport{
+				Workers:              1,
+				ScoreInitialNs:       best.stages["score-initial"],
+				FitPrepNs:            best.stages["fit-prep"],
+				EMFitNs:              best.stages["em-fit"],
+				EMIterations:         best.emIters,
+				TrainingPairs:        best.trainingPairs,
+				AllocsPerEMIteration: measureEMIterationAllocs(),
+			}
+			em.CombinedNs = em.FitPrepNs + em.EMFitNs
+			if *emfitBasePrep > 0 || *emfitBaseFit > 0 {
+				em.Baseline = &EMFitBaseline{
+					Label:          *emfitBaseNote,
+					ScoreInitialNs: *emfitBaseScore,
+					FitPrepNs:      *emfitBasePrep,
+					EMFitNs:        *emfitBaseFit,
+				}
+				if em.CombinedNs > 0 {
+					em.CombinedSpeedupVsBaseline =
+						float64(*emfitBasePrep+*emfitBaseFit) / float64(em.CombinedNs)
+				}
+			}
+			writeEMFitReport(*emfitOut, &rep, em)
+		}
 		fmt.Printf("workers=%d: %v (%.2fx vs serial), stage1 %v, stage2 %v, %.1f MB/op, %d allocs/op, heap %0.1f MB\n",
 			w, best.total.Round(time.Millisecond), speedup,
 			best.stage1.Round(time.Millisecond), best.stage2.Round(time.Millisecond),
@@ -302,6 +381,100 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// measureEMIterationAllocs measures the steady-state allocation cost of
+// one EM iteration on an engine-shaped synthetic fit (the pipeline's
+// default family layout: one Gaussian, five zero-inflated
+// exponentials): two fits over identical data with different iteration
+// budgets, allocation delta divided by the extra iterations. The
+// columnar engine's contract is 0 (TestAllocsEMIteration pins it); this
+// keeps the number on the emitted record so a regression is visible in
+// the committed JSON, not just in CI.
+func measureEMIterationAllocs() float64 {
+	rng := rand.New(rand.NewSource(7))
+	specs := []emfit.FeatureSpec{{Name: "interests", Family: emfit.Gaussian}}
+	for _, name := range []string{"wl-kernel", "cliques", "time-consistency", "rep-community", "community"} {
+		specs = append(specs, emfit.FeatureSpec{Name: name, Family: emfit.ZeroInflatedExponential})
+	}
+	const n = 20000
+	mx := emfit.NewMatrix(len(specs), n)
+	row := make([]float64, len(specs))
+	for j := 0; j < n; j++ {
+		row[0] = rng.NormFloat64()*0.3 + 0.4
+		for i := 1; i < len(specs); i++ {
+			if rng.Float64() < 0.6 {
+				row[i] = 0
+			} else {
+				row[i] = rng.ExpFloat64() / 4
+			}
+		}
+		mx.AppendRow(row)
+	}
+	fitWith := func(iters int) uint64 {
+		opts := emfit.DefaultOptions()
+		opts.MaxIter = iters
+		opts.Tol = 1e-300 // force the full budget; convergence is measured elsewhere
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, _, err := emfit.FitMatrix(mx, specs, opts); err != nil {
+			log.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	const short, long = 2, 12
+	a := fitWith(short)
+	b := fitWith(long)
+	if b <= a {
+		return 0
+	}
+	return float64(b-a) / float64(long-short)
+}
+
+// writeEMFitReport emits the standalone BENCH_emfit.json document.
+func writeEMFitReport(path string, rep *Report, em *EMFitReport) {
+	doc := struct {
+		Benchmark    string       `json:"benchmark"`
+		Scale        string       `json:"scale"`
+		CorpusPapers int          `json:"corpus_papers"`
+		GoMaxProcs   int          `json:"gomaxprocs"`
+		NumCPU       int          `json:"num_cpu"`
+		Reps         int          `json:"reps"`
+		EMFit        *EMFitReport `json:"emfit"`
+		GeneratedAt  time.Time    `json:"generated_at"`
+	}{
+		Benchmark:    "ModelFitPath",
+		Scale:        rep.Scale,
+		CorpusPapers: rep.CorpusPapers,
+		GoMaxProcs:   rep.GoMaxProcs,
+		NumCPU:       rep.NumCPU,
+		Reps:         rep.Reps,
+		EMFit:        em,
+		GeneratedAt:  time.Now().UTC(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	speed := ""
+	if em.CombinedSpeedupVsBaseline > 0 {
+		speed = fmt.Sprintf(" (%.2fx vs %s)", em.CombinedSpeedupVsBaseline, em.Baseline.Label)
+	}
+	fmt.Printf("emfit: fit-prep %v + em-fit %v = %v%s, %d EM iters, %.2f allocs/iter; wrote %s\n",
+		time.Duration(em.FitPrepNs).Round(time.Millisecond),
+		time.Duration(em.EMFitNs).Round(time.Millisecond),
+		time.Duration(em.CombinedNs).Round(time.Millisecond),
+		speed, em.EMIterations, em.AllocsPerEMIteration, path)
 }
 
 // measureIngest times the serving write path: the same deterministic

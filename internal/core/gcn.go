@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"iuad/internal/bib"
@@ -49,6 +50,27 @@ type Pipeline struct {
 	// inval is the reusable multi-source BFS scratch of incremental
 	// profile invalidation (never serialized; derived state only).
 	inval invalScratch
+	// scorer is the compiled decision-scoring form of Model (derived
+	// state, never serialized); scorerModel records which model it was
+	// compiled from so a snapshot load or model swap recompiles lazily.
+	scorer      *emfit.Scorer
+	scorerModel *emfit.Model
+}
+
+// modelScorer returns the compiled scorer of the current Model,
+// compiling on first use and again whenever Model has been replaced
+// (e.g. by LoadPipeline). Callers obtain it on the writer goroutine
+// before fanning scoring out; the Scorer itself is immutable and safe
+// to share across workers.
+func (pl *Pipeline) modelScorer() *emfit.Scorer {
+	if pl.Model == nil {
+		return nil
+	}
+	if pl.scorer == nil || pl.scorerModel != pl.Model {
+		pl.scorer = pl.Model.Scorer()
+		pl.scorerModel = pl.Model
+	}
+	return pl.scorer
 }
 
 // ScoredPair is a candidate same-name SCN vertex pair with its fitted
@@ -124,7 +146,7 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 
 	// Decision making (Alg. 1 lines 11-15): merge pairs with score ≥ δ,
 	// where δ = calibrated operating point + configured offset.
-	pl.scored = scorePairs(model, pairs, cfg.workers())
+	pl.scored = scorePairs(pl.modelScorer(), pairs, cfg.workers())
 	// Curator same-author labels are decisions, not just evidence: they
 	// merge unconditionally (the semi-supervised extension).
 	pl.forcedMerges = pl.forcedMerges[:0]
@@ -198,7 +220,7 @@ func (pl *Pipeline) refineOnce(st *refineState, net *Network, threshold float64,
 		st.sim = newSimilarityComputer(net, corpusSource{pl.Corpus}, pl.Emb, &pl.Cfg)
 	}
 	blocks := candidateBlocks(net, &pl.Cfg, rng)
-	scored := st.scoreBlocks(&pl.Cfg, pl.Model, blocks)
+	scored := st.scoreBlocks(&pl.Cfg, pl.modelScorer(), blocks)
 	uf := newUnionFind(len(net.Verts))
 	mergeScored(uf, scored, threshold, pl.Cfg.Merge)
 	out, remap := net.contract(uf.find)
@@ -214,10 +236,11 @@ func (pl *Pipeline) refineOnce(st *refineState, net *Network, threshold float64,
 
 // scoreBlocks computes the log-odds score of every candidate pair,
 // reusing retained scores where valid. Fresh pairs warm the profile
-// cache first (worker pool), then blocks are scored in parallel and
-// reduced positionally — the scored list is identical, in value and
-// order, to scoring every pair from scratch.
-func (st *refineState) scoreBlocks(cfg *Config, model *emfit.Model, blocks [][][2]int) []ScoredPair {
+// cache first (worker pool), then blocks are batch-scored in parallel
+// through the compiled scorer and reduced positionally — the scored
+// list is identical, in value and order, to scoring every pair from
+// scratch.
+func (st *refineState) scoreBlocks(cfg *Config, scorer *emfit.Scorer, blocks [][][2]int) []ScoredPair {
 	sim := st.sim
 	var involved []int
 	total := 0
@@ -240,7 +263,7 @@ func (st *refineState) scoreBlocks(cfg *Config, model *emfit.Model, blocks [][][
 				continue
 			}
 			full := sim.similaritiesOfProfiles(sim.mustProfile(pr[0]), sim.mustProfile(pr[1]))
-			out[i] = ScoredPair{A: pr[0], B: pr[1], Score: model.LogOdds(cfg.gammaInto(full, gbuf[:]))}
+			out[i] = ScoredPair{A: pr[0], B: pr[1], Score: scorer.Score(cfg.gammaInto(full, gbuf[:]))}
 		}
 		return out
 	})
@@ -489,12 +512,12 @@ func collectCandidatePairs(scn *Network, sim *similarityComputer, cfg *Config, r
 }
 
 // scorePairs computes the log-odds matching score of every candidate
-// pair with the worker pool; results are positional, so the scored list
-// is independent of the worker count.
-func scorePairs(model *emfit.Model, pairs []candidatePair, workers int) []ScoredPair {
+// pair with the worker pool, through the compiled scorer; results are
+// positional, so the scored list is independent of the worker count.
+func scorePairs(scorer *emfit.Scorer, pairs []candidatePair, workers int) []ScoredPair {
 	return sched.Map(workers, len(pairs), func(i int) ScoredPair {
 		cp := pairs[i]
-		return ScoredPair{A: cp.a, B: cp.b, Score: model.LogOdds(cp.gamma)}
+		return ScoredPair{A: cp.a, B: cp.b, Score: scorer.Score(cp.gamma)}
 	})
 }
 
@@ -506,23 +529,28 @@ func scorePairs(model *emfit.Model, pairs []candidatePair, workers int) []Scored
 // anchors' fitted scores.
 func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarityComputer, cfg *Config, rng *rand.Rand, lap func(string)) (*emfit.Model, float64, error) {
 	specs := cfg.featureSpecs()
-	var x [][]float64
+	// The training set is assembled straight into the feature-major
+	// matrix the columnar EM engine consumes: sampled candidate rows are
+	// copied from their (already materialized) γ vectors, while the
+	// synthetic anchor rows below are written in place — no per-row
+	// []float64 allocations on the fit-prep path.
+	mx := emfit.NewMatrix(len(specs), len(pairs)/8)
 	var init []float64
 	var clamped []bool
-	var calibIdx []int // indexes of the calibration (random-negative) anchors
+	calibBase, calibCount := 0, 0 // row range of the calibration (random-negative) anchors
 
 	// 10% pair sampling (§VI-A3). On tiny corpora the sample can come up
 	// empty; fall back to every candidate pair rather than failing.
 	for _, cp := range pairs {
 		if rng.Float64() <= cfg.SampleRate {
-			x = append(x, cp.gamma)
+			mx.AppendRow(cp.gamma)
 			init = append(init, 0.5)
 			clamped = append(clamped, false)
 		}
 	}
-	if len(x) == 0 {
+	if mx.Rows() == 0 {
 		for _, cp := range pairs {
-			x = append(x, cp.gamma)
+			mx.AppendRow(cp.gamma)
 			init = append(init, 0.5)
 			clamped = append(clamped, false)
 		}
@@ -548,14 +576,15 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 			splitInvolved = append(splitInvolved, pr[0], pr[1])
 		}
 		splitSim.precomputeProfiles(splitInvolved)
-		matchedGammas := sched.Map(workers, len(matched), func(k int) []float64 {
+		matchedBase := mx.Grow(len(matched))
+		sched.ForEach(workers, len(matched), func(k int) {
 			pr := matched[k]
 			full := splitSim.similaritiesOfProfiles(
 				splitSim.mustProfile(pr[0]), splitSim.mustProfile(pr[1]))
-			return cfg.gammaFor(full)
+			var gbuf [NumSimilarities]float64
+			mx.SetRow(matchedBase+k, cfg.gammaInto(full, gbuf[:]))
 		})
-		for _, g := range matchedGammas {
-			x = append(x, g)
+		for range matched {
 			init = append(init, 0.95)
 			clamped = append(clamped, true)
 			synth++
@@ -582,7 +611,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 		venues, byVenue := venueIndex(sim)
 		var hardPairs [][2]int
 		for k, tries := 0, 0; k < 2*synth && tries < 40*synth && len(venues) > 0; tries++ {
-			ids := byVenue[venues[rng.Intn(len(venues))]]
+			ids := byVenue[rng.Intn(len(venues))]
 			a := ids[rng.Intn(len(ids))]
 			b := ids[rng.Intn(len(ids))]
 			if a == b || verts[a].NameID == verts[b].NameID {
@@ -599,25 +628,27 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 			anchorInvolved = append(anchorInvolved, pr[0], pr[1])
 		}
 		sim.precomputeProfiles(anchorInvolved)
-		anchorGammas := sched.Map(workers, len(anchors), func(k int) []float64 {
+		anchorBase := mx.Grow(len(anchors))
+		sched.ForEach(workers, len(anchors), func(k int) {
 			pr := anchors[k]
 			full := sim.similaritiesOfProfiles(
 				sim.mustProfile(pr[0]), sim.mustProfile(pr[1]))
-			return cfg.gammaFor(full)
+			var gbuf [NumSimilarities]float64
+			mx.SetRow(anchorBase+k, cfg.gammaInto(full, gbuf[:]))
 		})
-		for i, g := range anchorGammas {
-			x = append(x, g)
+		for range anchors {
 			init = append(init, 0.05)
 			clamped = append(clamped, true)
-			if i < len(uniformPairs) {
-				calibIdx = append(calibIdx, len(x)-1)
-			}
 		}
+		// The uniform anchors are the contiguous prefix of the anchor
+		// block (hard negatives follow); they are the calibration set.
+		calibBase, calibCount = anchorBase, len(uniformPairs)
 	}
 	// Curator labels join the fit as clamped observations.
+	var gbuf [NumSimilarities]float64
 	for _, lp := range labeled {
 		full := sim.Similarities(lp.a, lp.b)
-		x = append(x, cfg.gammaFor(full))
+		mx.AppendRow(cfg.gammaInto(full, gbuf[:]))
 		if lp.same {
 			init = append(init, 0.98)
 		} else {
@@ -626,7 +657,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 		clamped = append(clamped, true)
 		synth++
 	}
-	if len(x) == 0 {
+	if mx.Rows() == 0 {
 		return nil, 0, fmt.Errorf("core: no training pairs (corpus too small for GCN stage)")
 	}
 	lap("fit-prep")
@@ -638,7 +669,7 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 		opts.InitResp = init
 		opts.Clamped = clamped
 	}
-	model, _, err := emfit.Fit(x, specs, opts)
+	model, _, err := emfit.FitMatrix(mx, specs, opts)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: EM fit: %w", err)
 	}
@@ -647,9 +678,12 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 	// venue-sharing hard negatives stay in the fit to shape the
 	// unmatched component, but their scores overlap legitimate matches
 	// by construction and would push the threshold above every match.)
+	// Anchor rows are scored straight out of the training matrix with
+	// the compiled scorer — bit-identical to LogOdds over gathered rows.
+	scorer := model.Scorer()
 	var negScores []float64
-	for _, j := range calibIdx {
-		negScores = append(negScores, model.LogOdds(x[j]))
+	for k := 0; k < calibCount; k++ {
+		negScores = append(negScores, scorer.ScoreRow(mx, calibBase+k))
 	}
 	calibration := 0.0
 	if len(negScores) > 0 {
@@ -675,35 +709,79 @@ func fitModel(pairs []candidatePair, labeled []labeledVertexPair, sim *similarit
 	return model, calibration, nil
 }
 
-// venueIndex maps each multi-vertex venue to the vertices publishing in
-// it, plus a venue list in lexicographic symbol order for deterministic
-// sampling (identical to the former sorted-string order).
-func venueIndex(sim *similarityComputer) ([]intern.ID, map[intern.ID][]int) {
-	byVenue := map[intern.ID][]int{}
-	for v := range sim.net.Verts {
-		seen := map[intern.ID]struct{}{}
-		for _, pid := range sim.net.Verts[v].Papers {
-			venue := sim.src.venueIDOf(pid)
-			if venue == intern.None {
+// venueVert is one (venue, vertex) publication occurrence of the flat
+// venue index.
+type venueVert struct {
+	venue intern.ID
+	vert  int32
+}
+
+// venueIndex lists each multi-vertex venue with the vertices publishing
+// in it: venues in lexicographic symbol order (the deterministic
+// sampling order the anchor rng depends on — identical to the former
+// sorted-string order), per-venue vertex lists ascending. It is derived
+// from the columnar venue data in one flat pass — (venue, vertex)
+// occurrences gathered, sorted, and run-length grouped — instead of the
+// former per-vertex hash maps rebuilt from raw papers on every fit.
+func venueIndex(sim *similarityComputer) ([]intern.ID, [][]int) {
+	verts := sim.net.Verts
+	total := 0
+	for v := range verts {
+		total += len(verts[v].Papers)
+	}
+	occ := make([]venueVert, 0, total)
+	frozen := intern.ID(sim.venueTab.FrozenLen())
+	tailed := false
+	for v := range verts {
+		for _, pid := range verts[v].Papers {
+			vid := sim.src.venueIDOf(pid)
+			if vid == intern.None {
 				continue
 			}
-			if _, dup := seen[venue]; dup {
-				continue
-			}
-			seen[venue] = struct{}{}
-			byVenue[venue] = append(byVenue[venue], v)
+			tailed = tailed || vid >= frozen
+			occ = append(occ, venueVert{venue: vid, vert: int32(v)})
 		}
+	}
+	// Frozen venue IDs are sorted ranks, so ascending-ID order IS
+	// lexicographic order; a late-interned symbol (never present during
+	// BuildGCN, but this helper must stay correct anywhere) falls back
+	// to the table comparator, like the profile builders.
+	if !tailed {
+		slices.SortFunc(occ, func(a, b venueVert) int {
+			if a.venue != b.venue {
+				if a.venue < b.venue {
+					return -1
+				}
+				return 1
+			}
+			return int(a.vert) - int(b.vert)
+		})
+	} else {
+		slices.SortFunc(occ, func(a, b venueVert) int {
+			if c := sim.venueTab.Compare(a.venue, b.venue); c != 0 {
+				return c
+			}
+			return int(a.vert) - int(b.vert)
+		})
 	}
 	var venues []intern.ID
-	for venue, ids := range byVenue {
-		if len(ids) < 2 {
-			delete(byVenue, venue)
-			continue
+	var lists [][]int
+	for i := 0; i < len(occ); {
+		j := i
+		var ids []int
+		for ; j < len(occ) && occ[j].venue == occ[i].venue; j++ {
+			v := int(occ[j].vert)
+			if len(ids) == 0 || ids[len(ids)-1] != v {
+				ids = append(ids, v)
+			}
 		}
-		venues = append(venues, venue)
+		if len(ids) >= 2 {
+			venues = append(venues, occ[i].venue)
+			lists = append(lists, ids)
+		}
+		i = j
 	}
-	sim.venueTab.Sort(venues)
-	return venues, byVenue
+	return venues, lists
 }
 
 // splitNetwork rebuilds scn with every vertex of ≥ SplitMinPapers papers
@@ -733,13 +811,19 @@ func splitNetwork(scn *Network, cfg *Config, rng *rand.Rand) (*Network, [][2]int
 			}
 			a := out.addVertexID(vert.NameID, vert.Isolated)
 			b := out.addVertexID(vert.NameID, vert.Isolated)
+			// vert.Papers is sorted and duplicate-free, so partitioning
+			// preserves both invariants — no per-paper set unions.
+			aPapers := make([]bib.PaperID, 0, len(vert.Papers)-cut)
+			bPapers := make([]bib.PaperID, 0, cut)
 			for _, p := range vert.Papers {
 				if moved[p] {
-					out.Verts[b].Papers = unionPapers(out.Verts[b].Papers, []bib.PaperID{p})
+					bPapers = append(bPapers, p)
 				} else {
-					out.Verts[a].Papers = unionPapers(out.Verts[a].Papers, []bib.PaperID{p})
+					aPapers = append(aPapers, p)
 				}
 			}
+			out.Verts[a].Papers = aPapers
+			out.Verts[b].Papers = bPapers
 			mapOf[v] = func(p bib.PaperID) int {
 				if moved[p] {
 					return b

@@ -248,19 +248,25 @@ func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, nameIDs []intern.ID) (
 	bestScore := math.Inf(-1)
 	best := -1
 	if len(candidates) > 0 && pl.Model != nil {
+		// Candidate scoring runs through the compiled scorer with a
+		// per-goroutine γ buffer: no model-switch dispatch and no per-
+		// candidate slice allocation on the serving hot path.
+		scorer := pl.modelScorer()
 		temp := pl.tempProfile(paper, idx, nameIDs)
 		var scores []float64
 		if w := pl.Cfg.workers(); w > 1 && len(candidates) >= minParallelCandidates {
 			pl.sim.precomputeProfiles(candidates)
 			scores = sched.Map(w, len(candidates), func(k int) float64 {
 				full := pl.sim.similaritiesOfProfiles(temp, pl.sim.mustProfile(candidates[k]))
-				return pl.Model.LogOdds(pl.Cfg.gammaFor(full))
+				var gbuf [NumSimilarities]float64
+				return scorer.Score(pl.Cfg.gammaInto(full, gbuf[:]))
 			})
 		} else {
 			scores = make([]float64, len(candidates))
+			var gbuf [NumSimilarities]float64
 			for k, v := range candidates {
 				full := pl.sim.similaritiesOfProfiles(temp, pl.sim.profileOf(v))
-				scores[k] = pl.Model.LogOdds(pl.Cfg.gammaFor(full))
+				scores[k] = scorer.Score(pl.Cfg.gammaInto(full, gbuf[:]))
 			}
 		}
 		for k, v := range candidates {
@@ -286,8 +292,10 @@ func (pl *Pipeline) assignSlot(paper *bib.Paper, idx int, nameIDs []intern.ID) (
 func (pl *Pipeline) tempProfile(paper *bib.Paper, idx int, nameIDs []intern.ID) *profile {
 	pb := pl.sim.builders.Get().(*profileBuilder)
 	p := pl.sim.buildProfile([]bib.PaperID{paper.ID}, pb)
-	p.wl = starFeatures(paper, idx, pl.Cfg.WLIterations)
-	p.wlSelfDot = wlkernel.Dot(p.wl, p.wl)
+	flat := starFeatures(paper, idx, pl.Cfg.WLIterations, &pb.wlx)
+	p.wl = pb.sl.allocLCs(len(flat))
+	copy(p.wl, flat)
+	p.wlSelfDot = wlkernel.DotFlat(p.wl, p.wl)
 	p.degree = len(paper.Authors) - 1
 	others := make([]intern.ID, 0, len(nameIDs)-1)
 	for i, nid := range nameIDs {
@@ -309,10 +317,11 @@ func (pl *Pipeline) tempProfile(paper *bib.Paper, idx int, nameIDs []intern.ID) 
 	return p
 }
 
-// starFeatures computes WL features of the star graph centered on slot
-// idx with the co-author names as leaves — the radius-1 collaboration
-// neighborhood a single new paper establishes.
-func starFeatures(paper *bib.Paper, idx, h int) map[uint64]int {
+// starFeatures computes the flat WL feature vector of the star graph
+// centered on slot idx with the co-author names as leaves — the
+// radius-1 collaboration neighborhood a single new paper establishes.
+// The result is backed by the extractor's scratch.
+func starFeatures(paper *bib.Paper, idx, h int, wlx *wlkernel.Extractor) []wlkernel.LabelCount {
 	n := len(paper.Authors)
 	g := graph.New(n)
 	labels := make([]uint64, n)
@@ -326,5 +335,5 @@ func starFeatures(paper *bib.Paper, idx, h int) map[uint64]int {
 		g.AddEdge(0, k)
 		k++
 	}
-	return wlkernel.Features(g, labels, h)
+	return wlx.GraphFlat(g, labels, h)
 }

@@ -65,13 +65,16 @@ type profile struct {
 	// centroid is W(v), the mean keyword vector (nil if no keyword is in
 	// vocabulary).
 	centroid []float64
-	// wl is the WL subgraph feature map φ of the vertex's ego network;
-	// wlSelfDot caches its self inner product ⟨φ,φ⟩ (an exact integer sum)
-	// so γ¹ walks one map per pair instead of three; degree is the
-	// vertex's collaboration degree. A neighborless vertex has no
-	// structural identity beyond its own (shared) name, so γ¹ treats it
-	// as "no evidence" rather than "identical subgraph".
-	wl        map[uint64]int
+	// wl is the WL subgraph feature vector φ of the vertex's ego network
+	// as a flat label-sorted run-length slice (slab-carved, like every
+	// other profile aggregate — the former map cost one allocation per
+	// bucket chunk and a map walk per pair); wlSelfDot caches its self
+	// inner product ⟨φ,φ⟩ (an exact integer sum) so γ¹ merge-joins one
+	// vector pair per evaluation. degree is the vertex's collaboration
+	// degree. A neighborless vertex has no structural identity beyond
+	// its own (shared) name, so γ¹ treats it as "no evidence" rather
+	// than "identical subgraph".
+	wl        []wlkernel.LabelCount
 	wlSelfDot float64
 	degree    int
 	// triangles lists the distinct co-author name-ID pairs forming stable
@@ -94,6 +97,7 @@ type slab struct {
 	ids   []intern.ID
 	i32   []int32
 	pairs []namePair
+	lcs   []wlkernel.LabelCount
 }
 
 // carve returns an n-element region bumped off the current block,
@@ -111,9 +115,10 @@ func carve[T any](block *[]T, n int) []T {
 	return (*block)[l : l+n : l+n]
 }
 
-func (s *slab) allocIDs(n int) []intern.ID  { return carve(&s.ids, n) }
-func (s *slab) allocI32(n int) []int32      { return carve(&s.i32, n) }
-func (s *slab) allocPairs(n int) []namePair { return carve(&s.pairs, n) }
+func (s *slab) allocIDs(n int) []intern.ID           { return carve(&s.ids, n) }
+func (s *slab) allocI32(n int) []int32               { return carve(&s.i32, n) }
+func (s *slab) allocPairs(n int) []namePair          { return carve(&s.pairs, n) }
+func (s *slab) allocLCs(n int) []wlkernel.LabelCount { return carve(&s.lcs, n) }
 
 // wordYear is one (keyword, year) occurrence gathered during profile
 // aggregation, before sorting and run-length grouping.
@@ -132,6 +137,9 @@ type profileBuilder struct {
 	vens   []intern.ID
 	kwRows []int32
 	tris   []namePair
+	// wlx is the flat WL feature extractor (ego BFS marks, CSR and
+	// label scratch), reused across every profile this builder makes.
+	wlx wlkernel.Extractor
 }
 
 // similarityComputer evaluates γ¹..γ⁶ over a network, caching profiles.
@@ -260,9 +268,11 @@ func (sc *similarityComputer) profileOf(v int) *profile {
 // from concurrent workers holding distinct builders.
 func (sc *similarityComputer) buildVertexProfile(v int, pb *profileBuilder) *profile {
 	p := sc.buildProfile(sc.net.Verts[v].Papers, pb)
-	p.wl = wlkernel.SubgraphFeatures(sc.net.G, v, sc.cfg.WLIterations,
+	flat := pb.wlx.SubgraphFlat(sc.net.G, v, sc.cfg.WLIterations,
 		func(u int) uint64 { return sc.wlLabel(sc.net.Verts[u].NameID) })
-	p.wlSelfDot = wlkernel.Dot(p.wl, p.wl)
+	p.wl = pb.sl.allocLCs(len(flat))
+	copy(p.wl, flat)
+	p.wlSelfDot = wlkernel.DotFlat(p.wl, p.wl)
 	p.degree = sc.net.G.Degree(v)
 	p.triangles = sc.triangleNamePairs(v, pb)
 	return p
@@ -474,7 +484,7 @@ func (sc *similarityComputer) similaritiesOfProfiles(pi, pj *profile) [NumSimila
 	enabled := func(i int) bool { return sc.cfg.FeatureMask == nil || sc.cfg.FeatureMask[i] }
 
 	if enabled(SimWLKernel) && pi.degree > 0 && pj.degree > 0 {
-		g[SimWLKernel] = wlkernel.NormalizedPre(pi.wl, pj.wl, pi.wlSelfDot, pj.wlSelfDot)
+		g[SimWLKernel] = wlkernel.NormalizedPreFlat(pi.wl, pj.wl, pi.wlSelfDot, pj.wlSelfDot)
 	}
 	if enabled(SimCliques) {
 		g[SimCliques] = cliqueCoincidence(pi, pj)

@@ -10,7 +10,19 @@
 // responsibility l_j = P(r_j ∈ M | γ_j, Θ), the M-step plugs the
 // responsibilities into the closed-form weighted MLEs of Table I. The
 // fitted model scores candidate pairs with the log posterior-odds
-// matching score of Eq. 11.
+// matching score of Eq. 11 (LogOdds, or its compiled form, Scorer).
+//
+// The engine is columnar: training data lives in a feature-major Matrix
+// (one flat []float64 per feature), and everything that does not change
+// across EM iterations — multinomial bin indexes, zero-atom masks,
+// clamped Exponential observations — is precomputed once into
+// per-feature invariant columns before the loop, so each iteration is
+// branch-light table lookups and single passes with zero steady-state
+// allocations. Every per-sample float expression and every reduction
+// order is identical to the row-major reference implementation, so the
+// fitted parameters, responsibilities, and iteration count are
+// bit-identical (pinned by TestEMColumnarEquivalence), for every worker
+// count.
 package emfit
 
 import (
@@ -118,91 +130,6 @@ func binOf(edges []float64, x float64) int {
 	return i
 }
 
-// fit computes the weighted MLE of Table I for one feature/side.
-func fitComponent(spec FeatureSpec, xs []float64, w []float64) component {
-	c := component{family: spec.Family, bins: spec.Bins}
-	var sw float64
-	for _, wj := range w {
-		sw += wj
-	}
-	switch spec.Family {
-	case Gaussian:
-		if sw <= 0 {
-			c.mu, c.sigma2 = 0, 1
-			return c
-		}
-		var mean float64
-		for j, x := range xs {
-			mean += w[j] * x
-		}
-		mean /= sw
-		var ss float64
-		for j, x := range xs {
-			d := x - mean
-			ss += w[j] * d * d
-		}
-		c.mu = mean
-		c.sigma2 = ss / sw
-		if c.sigma2 < varianceFloor {
-			c.sigma2 = varianceFloor
-		}
-	case Exponential:
-		// λ = Σw / Σ(w·x), clamped for numerical safety.
-		var sx float64
-		for j, x := range xs {
-			if x < 0 {
-				x = 0
-			}
-			sx += w[j] * x
-		}
-		if sw <= 0 || sx <= 0 {
-			c.lambda = lambdaMax
-			return c
-		}
-		c.lambda = sw / sx
-		if c.lambda < lambdaMin {
-			c.lambda = lambdaMin
-		}
-		if c.lambda > lambdaMax {
-			c.lambda = lambdaMax
-		}
-	case Multinomial:
-		nb := len(spec.Bins) + 1
-		counts := make([]float64, nb)
-		for j, x := range xs {
-			counts[binOf(spec.Bins, x)] += w[j]
-		}
-		c.logp = make([]float64, nb)
-		// Laplace smoothing keeps unseen bins finite.
-		denom := sw + float64(nb)
-		for b := 0; b < nb; b++ {
-			c.logp[b] = math.Log((counts[b] + 1) / denom)
-		}
-	case ZeroInflatedExponential:
-		var swZero, swPos, sxPos float64
-		for j, x := range xs {
-			if x < zeroEps {
-				swZero += w[j]
-			} else {
-				swPos += w[j]
-				sxPos += w[j] * x
-			}
-		}
-		// Laplace-smoothed zero probability keeps both atoms finite.
-		pi0 := (swZero + 1) / (sw + 2)
-		c.logPi0 = math.Log(pi0)
-		c.logPi1 = math.Log(1 - pi0)
-		if swPos <= 0 || sxPos <= 0 {
-			c.lambda = lambdaMax
-		} else {
-			c.lambda = clamp(swPos/sxPos, lambdaMin, lambdaMax)
-		}
-	default:
-		panic("emfit: unknown family " + spec.Family.String())
-	}
-	return c
-}
-
 // Model is a fitted two-component mixture.
 type Model struct {
 	Specs []FeatureSpec
@@ -250,23 +177,146 @@ func DefaultOptions() Options { return Options{MaxIter: 100, Tol: 1e-6} }
 // ErrNoData is returned when Fit receives no samples.
 var ErrNoData = errors.New("emfit: no samples")
 
-// Fit learns the mixture from the N×m sample matrix X. It returns the
-// model and the final responsibilities.
+// maxAbsSample bounds the magnitude of a training observation. Beyond
+// it, intermediate sufficient statistics (squared Gaussian deviations
+// and their weighted sums) can overflow to ±Inf and poison the fit
+// with NaNs while every input stays technically finite — FuzzEMFit
+// found exactly that with a 1.4e160 cell. Similarity features live on
+// O(1) scales, so anything near this bound is corruption, and it is
+// rejected as such.
+const maxAbsSample = 1e100
+
+// ErrBadSample reports an unusable training observation — NaN, ±Inf,
+// or magnitude beyond the overflow-safe bound — at sample Row, feature
+// Col, holding Value. It is returned by Fit and FitMatrix so callers
+// can locate the poisoned cell with errors.As instead of parsing an
+// error string.
+type ErrBadSample struct {
+	Row, Col int
+	Value    float64
+}
+
+func (e ErrBadSample) Error() string {
+	return fmt.Sprintf("emfit: sample %d feature %d is %v", e.Row, e.Col, e.Value)
+}
+
+// badSample reports whether v may not enter a fit.
+func badSample(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < -maxAbsSample || v > maxAbsSample
+}
+
+// Fit learns the mixture from the N×m row-major sample matrix X. It
+// returns the model and the final responsibilities.
+//
+// Fit is the row-major convenience wrapper over FitMatrix: it
+// transposes X into a feature-major Matrix exactly once, with NaN/Inf
+// validation folded into the same pass (no separate validation sweep).
 func Fit(x [][]float64, specs []FeatureSpec, opts Options) (*Model, []float64, error) {
 	n := len(x)
 	if n == 0 {
 		return nil, nil, ErrNoData
 	}
 	m := len(specs)
+	mx := &Matrix{rows: n, cols: make([][]float64, m)}
+	for i := range mx.cols {
+		mx.cols[i] = make([]float64, n)
+	}
 	for j, row := range x {
 		if len(row) != m {
 			return nil, nil, fmt.Errorf("emfit: sample %d has %d features, want %d", j, len(row), m)
 		}
 		for i, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, nil, fmt.Errorf("emfit: sample %d feature %d is %v", j, i, v)
+			if badSample(v) {
+				return nil, nil, ErrBadSample{Row: j, Col: i, Value: v}
 			}
+			mx.cols[i][j] = v
 		}
+	}
+	return fitMatrix(mx, specs, opts, true)
+}
+
+// FitMatrix learns the mixture from a feature-major matrix, avoiding
+// the row-major transpose entirely for callers (like the IUAD fit-prep
+// path) that assemble training γ vectors column-wise. Semantics are
+// identical to Fit; observations are validated during the invariant
+// precomputation pass.
+func FitMatrix(mx *Matrix, specs []FeatureSpec, opts Options) (*Model, []float64, error) {
+	return fitMatrix(mx, specs, opts, false)
+}
+
+func fitMatrix(mx *Matrix, specs []FeatureSpec, opts Options, validated bool) (*Model, []float64, error) {
+	st, err := newFitState(mx, specs, opts, validated)
+	if err != nil {
+		return nil, nil, err
+	}
+	prevLL := math.Inf(-1)
+	for iter := 1; iter <= st.opts.MaxIter; iter++ {
+		ll := st.iterate()
+		st.model.LogLikelihood = ll
+		st.model.Iterations = iter
+		if ll-prevLL < st.opts.Tol*math.Abs(ll) && iter > 1 {
+			break
+		}
+		prevLL = ll
+	}
+	return st.model, st.resp, nil
+}
+
+// fitState is the columnar sufficient-statistics engine behind one EM
+// fit: the feature columns, the per-feature invariants that never
+// change across iterations, and every scratch buffer the loop needs.
+// All allocation happens in newFitState; iterate() is allocation-free
+// in steady state (pinned by TestAllocsEMIteration).
+type fitState struct {
+	n, m    int
+	specs   []FeatureSpec
+	opts    Options
+	workers int
+
+	// xe[i] is the effective observation column of feature i: the raw
+	// matrix column, except for Exponential features where the x<0 → 0
+	// clamp (applied per observation per pass by the row-major engine)
+	// is materialized once into a private copy. Raw columns are never
+	// mutated.
+	xe [][]float64
+	// binIdx[i] is the precomputed multinomial bin index of every
+	// observation (non-nil only for Multinomial features with ≤ 256
+	// bins; bin edges never change across iterations, so the per-
+	// iteration binary search of the row-major engine was pure waste).
+	binIdx [][]uint8
+	// zeroMask[i] marks the zero-atom observations of
+	// ZeroInflatedExponential feature i.
+	zeroMask [][]bool
+
+	resp, wU   []float64
+	dens, post []float64
+	lm, lu     []float64
+
+	// Multinomial M-step scratch: weighted bin counts per side, cleared
+	// and refilled each iteration (the log-probability tables live in
+	// the model components and are likewise reused in place).
+	countsM, countsU [][]float64
+
+	// chunks shards the sample range for the E-step; mstepFn/estepFn
+	// are the worker closures, built once so iterations do not allocate
+	// closure headers.
+	chunks  [][2]int
+	mstepFn func(k int)
+	estepFn func(c int)
+
+	model      *Model
+	swM, swU   float64 // per-side weight sums of the current iteration
+	logP, logQ float64 // log mixing weights of the current iteration
+}
+
+func newFitState(mx *Matrix, specs []FeatureSpec, opts Options, validated bool) (*fitState, error) {
+	n := mx.Rows()
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	m := len(specs)
+	if mx.Features() != m {
+		return nil, fmt.Errorf("emfit: matrix has %d features, specs have %d", mx.Features(), m)
 	}
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 100
@@ -274,118 +324,346 @@ func Fit(x [][]float64, specs []FeatureSpec, opts Options) (*Model, []float64, e
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-6
 	}
+	st := &fitState{n: n, m: m, specs: specs, opts: opts}
 
 	resp := make([]float64, n)
 	if opts.InitResp != nil {
 		if len(opts.InitResp) != n {
-			return nil, nil, fmt.Errorf("emfit: InitResp length %d, want %d", len(opts.InitResp), n)
+			return nil, fmt.Errorf("emfit: InitResp length %d, want %d", len(opts.InitResp), n)
 		}
 		copy(resp, opts.InitResp)
-	} else {
-		seedResponsibilities(x, resp)
 	}
 	if opts.Clamped != nil {
 		if len(opts.Clamped) != n {
-			return nil, nil, fmt.Errorf("emfit: Clamped length %d, want %d", len(opts.Clamped), n)
+			return nil, fmt.Errorf("emfit: Clamped length %d, want %d", len(opts.Clamped), n)
 		}
 		if opts.InitResp == nil {
-			return nil, nil, fmt.Errorf("emfit: Clamped requires InitResp")
+			return nil, fmt.Errorf("emfit: Clamped requires InitResp")
 		}
 	}
+	st.resp = resp
 
-	// Column views to avoid re-slicing in every M-step.
-	cols := make([][]float64, m)
+	// Per-feature invariant precomputation, fused with observation
+	// validation when the caller has not already validated (FitMatrix):
+	// one pass over each column computes everything the EM loop will
+	// ever need besides the raw values.
+	st.xe = make([][]float64, m)
+	st.binIdx = make([][]uint8, m)
+	st.zeroMask = make([][]bool, m)
+	st.countsM = make([][]float64, m)
+	st.countsU = make([][]float64, m)
+	model := &Model{
+		Specs:     specs,
+		matched:   make([]component, m),
+		unmatched: make([]component, m),
+	}
+	st.model = model
 	for i := 0; i < m; i++ {
-		cols[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			cols[i][j] = x[j][i]
+		col := mx.cols[i]
+		if !validated {
+			for j, v := range col {
+				if badSample(v) {
+					return nil, ErrBadSample{Row: j, Col: i, Value: v}
+				}
+			}
+		}
+		model.matched[i] = component{family: specs[i].Family, bins: specs[i].Bins}
+		model.unmatched[i] = component{family: specs[i].Family, bins: specs[i].Bins}
+		st.xe[i] = col
+		switch specs[i].Family {
+		case Exponential:
+			clamped := make([]float64, n)
+			for j, v := range col {
+				if v < 0 {
+					v = 0
+				}
+				clamped[j] = v
+			}
+			st.xe[i] = clamped
+		case Multinomial:
+			nb := len(specs[i].Bins) + 1
+			if nb <= 256 {
+				idx := make([]uint8, n)
+				for j, v := range col {
+					idx[j] = uint8(binOf(specs[i].Bins, v))
+				}
+				st.binIdx[i] = idx
+			}
+			st.countsM[i] = make([]float64, nb)
+			st.countsU[i] = make([]float64, nb)
+			model.matched[i].logp = make([]float64, nb)
+			model.unmatched[i].logp = make([]float64, nb)
+		case ZeroInflatedExponential:
+			mask := make([]bool, n)
+			for j, v := range col {
+				mask[j] = v < zeroEps
+			}
+			st.zeroMask[i] = mask
 		}
 	}
-	wU := make([]float64, n)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 1
+	if opts.InitResp == nil {
+		seedResponsibilities(mx.cols, resp)
 	}
-	// Per-sample E-step scratch: density and posterior are written
-	// positionally by the pool, then reduced serially in sample order so
-	// the log-likelihood sum (and hence convergence) is independent of
-	// the worker count.
-	dens := make([]float64, n)
-	post := make([]float64, n)
 
-	model := &Model{Specs: specs}
-	prevLL := math.Inf(-1)
-	for iter := 1; iter <= opts.MaxIter; iter++ {
-		// M-step. The mixing weight needs a serial pass; the 2m
-		// component MLEs are independent and fan out per feature/side,
-		// each summing over samples in fixed order.
-		var sumResp float64
-		for j := range resp {
-			wU[j] = 1 - resp[j]
-			sumResp += resp[j]
-		}
-		model.P = clamp(sumResp/float64(n), mixFloor, 1-mixFloor)
-		if cap(model.matched) < m {
-			model.matched = make([]component, m)
-			model.unmatched = make([]component, m)
-		}
-		model.matched = model.matched[:m]
-		model.unmatched = model.unmatched[:m]
-		sched.ForEach(workers, 2*m, func(k int) {
-			if k < m {
-				model.matched[k] = fitComponent(specs[k], cols[k], resp)
-			} else {
-				model.unmatched[k-m] = fitComponent(specs[k-m], cols[k-m], wU)
-			}
-		})
-
-		// E-step + log-likelihood: the batch of per-sample posteriors is
-		// the hot loop — embarrassingly parallel over samples.
-		logP := math.Log(model.P)
-		logQ := math.Log(1 - model.P)
-		sched.ForEach(workers, n, func(j int) {
-			lm, lu := logP, logQ
-			for i := 0; i < m; i++ {
-				lm += model.matched[i].logPDF(x[j][i])
-				lu += model.unmatched[i].logPDF(x[j][i])
-			}
-			mx := math.Max(lm, lu)
-			den := mx + math.Log(math.Exp(lm-mx)+math.Exp(lu-mx))
-			dens[j] = den
-			post[j] = math.Exp(lm - den)
-		})
-		ll := 0.0
-		for j := 0; j < n; j++ {
-			if opts.Clamped != nil && opts.Clamped[j] {
-				resp[j] = opts.InitResp[j] // observed label, not latent
-			} else {
-				resp[j] = post[j]
-			}
-			ll += dens[j]
-		}
-		model.LogLikelihood = ll
-		model.Iterations = iter
-		if ll-prevLL < opts.Tol*math.Abs(ll) && iter > 1 {
-			break
-		}
-		prevLL = ll
+	st.wU = make([]float64, n)
+	st.dens = make([]float64, n)
+	st.post = make([]float64, n)
+	st.lm = make([]float64, n)
+	st.lu = make([]float64, n)
+	st.workers = opts.Workers
+	if st.workers <= 0 {
+		st.workers = 1
 	}
-	return model, resp, nil
+	st.chunks = sched.Chunks(st.workers, n)
+	st.mstepFn = st.fitFeature
+	st.estepFn = func(c int) { st.estepRange(st.chunks[c][0], st.chunks[c][1]) }
+	return st, nil
+}
+
+// iterate runs one EM round: M-step from the current responsibilities,
+// then E-step + serial log-likelihood reduction. The body mirrors the
+// row-major engine operation for operation — the mixing-weight pass,
+// each component MLE, each per-sample log-density sum, and the final
+// sample-order reduction produce the same floats in the same order, so
+// parameters and convergence are bit-identical for every worker count.
+func (st *fitState) iterate() float64 {
+	model := st.model
+	// M-step. The mixing weight needs a serial pass; the per-side
+	// weight sums accumulate in the same ascending sample order the
+	// row-major fitComponent used, computed once instead of once per
+	// component.
+	var sumResp, sumWU float64
+	for j, r := range st.resp {
+		w := 1 - r
+		st.wU[j] = w
+		sumResp += r
+		sumWU += w
+	}
+	model.P = clamp(sumResp/float64(st.n), mixFloor, 1-mixFloor)
+	st.swM, st.swU = sumResp, sumWU
+	// The 2m component MLEs are independent and fan out per
+	// feature/side, each a single pass over precomputed columns.
+	sched.ForEach(st.workers, 2*st.m, st.mstepFn)
+
+	// E-step + log-likelihood: per-sample log densities accumulate in
+	// feature order into positional buffers, chunked over the pool.
+	st.logP = math.Log(model.P)
+	st.logQ = math.Log(1 - model.P)
+	sched.ForEach(st.workers, len(st.chunks), st.estepFn)
+
+	ll := 0.0
+	clampedMask := st.opts.Clamped
+	if clampedMask != nil {
+		for j := 0; j < st.n; j++ {
+			if clampedMask[j] {
+				st.resp[j] = st.opts.InitResp[j] // observed label, not latent
+			} else {
+				st.resp[j] = st.post[j]
+			}
+			ll += st.dens[j]
+		}
+	} else {
+		for j := 0; j < st.n; j++ {
+			st.resp[j] = st.post[j]
+			ll += st.dens[j]
+		}
+	}
+	return ll
+}
+
+// fitFeature computes the weighted MLE of Table I for component k:
+// feature k of the matched side for k < m, feature k−m of the unmatched
+// side otherwise. Single pass over the feature's invariant columns,
+// writing the model component in place.
+func (st *fitState) fitFeature(k int) {
+	i, w, sw := k, st.resp, st.swM
+	side, counts := st.model.matched, st.countsM
+	if k >= st.m {
+		i = k - st.m
+		w, sw = st.wU, st.swU
+		side, counts = st.model.unmatched, st.countsU
+	}
+	c := &side[i]
+	xs := st.xe[i]
+	switch st.specs[i].Family {
+	case Gaussian:
+		if sw <= 0 {
+			c.mu, c.sigma2 = 0, 1
+			return
+		}
+		var mean float64
+		for j, x := range xs {
+			mean += w[j] * x
+		}
+		mean /= sw
+		var ss float64
+		for j, x := range xs {
+			d := x - mean
+			ss += w[j] * d * d
+		}
+		c.mu = mean
+		c.sigma2 = ss / sw
+		if c.sigma2 < varianceFloor {
+			c.sigma2 = varianceFloor
+		}
+	case Exponential:
+		// λ = Σw / Σ(w·x), clamped for numerical safety; xs is already
+		// clamped at zero.
+		var sx float64
+		for j, x := range xs {
+			sx += w[j] * x
+		}
+		if sw <= 0 || sx <= 0 {
+			c.lambda = lambdaMax
+			return
+		}
+		c.lambda = sw / sx
+		if c.lambda < lambdaMin {
+			c.lambda = lambdaMin
+		}
+		if c.lambda > lambdaMax {
+			c.lambda = lambdaMax
+		}
+	case Multinomial:
+		cnt := counts[i]
+		clear(cnt)
+		if bi := st.binIdx[i]; bi != nil {
+			for j, b := range bi {
+				cnt[b] += w[j]
+			}
+		} else {
+			bins := st.specs[i].Bins
+			for j, x := range xs {
+				cnt[binOf(bins, x)] += w[j]
+			}
+		}
+		// Laplace smoothing keeps unseen bins finite.
+		nb := len(cnt)
+		denom := sw + float64(nb)
+		for b := 0; b < nb; b++ {
+			c.logp[b] = math.Log((cnt[b] + 1) / denom)
+		}
+	case ZeroInflatedExponential:
+		var swZero, swPos, sxPos float64
+		zm := st.zeroMask[i]
+		for j, x := range xs {
+			if zm[j] {
+				swZero += w[j]
+			} else {
+				swPos += w[j]
+				sxPos += w[j] * x
+			}
+		}
+		// Laplace-smoothed zero probability keeps both atoms finite.
+		pi0 := (swZero + 1) / (sw + 2)
+		c.logPi0 = math.Log(pi0)
+		c.logPi1 = math.Log(1 - pi0)
+		if swPos <= 0 || sxPos <= 0 {
+			c.lambda = lambdaMax
+		} else {
+			c.lambda = clamp(swPos/sxPos, lambdaMin, lambdaMax)
+		}
+	default:
+		panic("emfit: unknown family " + st.specs[i].Family.String())
+	}
+}
+
+// estepRange computes the posterior responsibility and log density of
+// samples [lo, hi): per-sample accumulators start at the log mixing
+// weights and add one per-feature term in feature order — exactly the
+// order (and exactly the float expressions, with iteration-invariant
+// subterms hoisted) of the row-major logPDF sums — then collapse through
+// the identical log-sum-exp.
+func (st *fitState) estepRange(lo, hi int) {
+	lm, lu := st.lm, st.lu
+	for j := lo; j < hi; j++ {
+		lm[j] = st.logP
+		lu[j] = st.logQ
+	}
+	for i := 0; i < st.m; i++ {
+		cm, cu := &st.model.matched[i], &st.model.unmatched[i]
+		xs := st.xe[i]
+		switch st.specs[i].Family {
+		case Gaussian:
+			gcM := -0.5 * math.Log(2*math.Pi*cm.sigma2)
+			twoM := 2 * cm.sigma2
+			gcU := -0.5 * math.Log(2*math.Pi*cu.sigma2)
+			twoU := 2 * cu.sigma2
+			muM, muU := cm.mu, cu.mu
+			for j := lo; j < hi; j++ {
+				x := xs[j]
+				dM := x - muM
+				lm[j] += gcM - dM*dM/twoM
+				dU := x - muU
+				lu[j] += gcU - dU*dU/twoU
+			}
+		case Exponential:
+			logLamM, lamM := math.Log(cm.lambda), cm.lambda
+			logLamU, lamU := math.Log(cu.lambda), cu.lambda
+			for j := lo; j < hi; j++ {
+				x := xs[j]
+				lm[j] += logLamM - lamM*x
+				lu[j] += logLamU - lamU*x
+			}
+		case Multinomial:
+			lpM, lpU := cm.logp, cu.logp
+			if bi := st.binIdx[i]; bi != nil {
+				for j := lo; j < hi; j++ {
+					b := bi[j]
+					lm[j] += lpM[b]
+					lu[j] += lpU[b]
+				}
+			} else {
+				bins := st.specs[i].Bins
+				for j := lo; j < hi; j++ {
+					b := binOf(bins, xs[j])
+					lm[j] += lpM[b]
+					lu[j] += lpU[b]
+				}
+			}
+		case ZeroInflatedExponential:
+			zm := st.zeroMask[i]
+			zcM := cm.logPi1 + math.Log(cm.lambda)
+			zcU := cu.logPi1 + math.Log(cu.lambda)
+			lamM, lamU := cm.lambda, cu.lambda
+			p0M, p0U := cm.logPi0, cu.logPi0
+			for j := lo; j < hi; j++ {
+				if zm[j] {
+					lm[j] += p0M
+					lu[j] += p0U
+				} else {
+					x := xs[j]
+					lm[j] += zcM - lamM*x
+					lu[j] += zcU - lamU*x
+				}
+			}
+		}
+	}
+	for j := lo; j < hi; j++ {
+		a, b := lm[j], lu[j]
+		mx := math.Max(a, b)
+		den := mx + math.Log(math.Exp(a-mx)+math.Exp(b-mx))
+		st.dens[j] = den
+		st.post[j] = math.Exp(a - den)
+	}
 }
 
 // seedResponsibilities initializes EM from the standardized feature-sum
-// quantile heuristic.
-func seedResponsibilities(x [][]float64, resp []float64) {
-	n, m := len(x), len(x[0])
+// quantile heuristic, over feature-major columns. Per-sample sums add
+// their per-feature terms in feature order — the same addition order as
+// the row-major seeding, so the resulting ranking is bit-identical.
+func seedResponsibilities(cols [][]float64, resp []float64) {
+	n, m := len(resp), len(cols)
 	mean := make([]float64, m)
 	std := make([]float64, m)
 	for i := 0; i < m; i++ {
+		col := cols[i]
 		for j := 0; j < n; j++ {
-			mean[i] += x[j][i]
+			mean[i] += col[j]
 		}
 		mean[i] /= float64(n)
 		for j := 0; j < n; j++ {
-			d := x[j][i] - mean[i]
+			d := col[j] - mean[i]
 			std[i] += d * d
 		}
 		std[i] = math.Sqrt(std[i] / float64(n))
@@ -394,13 +672,15 @@ func seedResponsibilities(x [][]float64, resp []float64) {
 		}
 	}
 	sums := make([]float64, n)
-	order := make([]int, n)
-	for j := 0; j < n; j++ {
-		s := 0.0
-		for i := 0; i < m; i++ {
-			s += (x[j][i] - mean[i]) / std[i]
+	for i := 0; i < m; i++ {
+		col := cols[i]
+		mi, si := mean[i], std[i]
+		for j := 0; j < n; j++ {
+			sums[j] += (col[j] - mi) / si
 		}
-		sums[j] = s
+	}
+	order := make([]int, n)
+	for j := range order {
 		order[j] = j
 	}
 	sort.Slice(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
@@ -429,6 +709,10 @@ func clamp(v, lo, hi float64) float64 {
 
 // LogOdds returns the matching score of Eq. 11:
 // log( P(r∈M|γ,Θ) / P(r∈U|γ,Θ) ).
+//
+// Hot paths should compile the model once with Scorer and score through
+// that instead: same bits, no per-call binary search or transcendental
+// re-evaluation.
 func (m *Model) LogOdds(gamma []float64) float64 {
 	if len(gamma) != len(m.Specs) {
 		panic(fmt.Sprintf("emfit: score with %d features, model has %d", len(gamma), len(m.Specs)))

@@ -1,0 +1,141 @@
+package emfit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scorer is the compiled form of Model.LogOdds: every subterm of the
+// Eq. 11 matching score that depends only on the fitted parameters —
+// log mixing odds, Gaussian normalization constants, log rates,
+// zero-atom differences, and the full multinomial bin→log-odds tables —
+// is evaluated once at compile time, so scoring a candidate pair is a
+// handful of multiply-adds and table lookups per feature instead of
+// per-call switches, binary searches, and transcendental calls.
+//
+// The compiled score is bit-identical to LogOdds for every input
+// (pinned by TestScorerMatchesLogOdds): each hoisted constant is the
+// same float expression the interpreted path evaluates, and the
+// remaining per-call arithmetic keeps the identical expression shape
+// and association order.
+//
+// A Scorer is immutable after compilation and safe for concurrent use.
+type Scorer struct {
+	base  float64 // log P − log(1−P)
+	feats []scorerFeat
+}
+
+// scorerFeat holds the compiled constants of one feature. Field groups
+// are family-specific; unused groups stay zero.
+type scorerFeat struct {
+	family Family
+	// Gaussian: per-side mean, normalization constant −½log(2πσ²), and
+	// denominator 2σ².
+	muM, gcM, twoM float64
+	muU, gcU, twoU float64
+	// Exponential (and the positive branch of zero-inflation): per-side
+	// log rate and rate. zcM/zcU are the zero-inflated positive-branch
+	// constants logπ₁ + logλ.
+	logLamM, lamM float64
+	logLamU, lamU float64
+	zcM, zcU      float64
+	// zeroDiff is the precomputed matched−unmatched log-density gap of
+	// the zero atom.
+	zeroDiff float64
+	// Multinomial: bin edges plus the bin→log-odds difference table.
+	bins []float64
+	tbl  []float64
+}
+
+// Scorer compiles the fitted model into its decision-scoring form.
+func (m *Model) Scorer() *Scorer {
+	s := &Scorer{
+		base:  math.Log(m.P) - math.Log(1-m.P),
+		feats: make([]scorerFeat, len(m.Specs)),
+	}
+	for i := range m.Specs {
+		cm, cu := &m.matched[i], &m.unmatched[i]
+		f := &s.feats[i]
+		f.family = m.Specs[i].Family
+		switch f.family {
+		case Gaussian:
+			f.muM, f.gcM, f.twoM = cm.mu, -0.5*math.Log(2*math.Pi*cm.sigma2), 2*cm.sigma2
+			f.muU, f.gcU, f.twoU = cu.mu, -0.5*math.Log(2*math.Pi*cu.sigma2), 2*cu.sigma2
+		case Exponential:
+			f.logLamM, f.lamM = math.Log(cm.lambda), cm.lambda
+			f.logLamU, f.lamU = math.Log(cu.lambda), cu.lambda
+		case Multinomial:
+			f.bins = m.Specs[i].Bins
+			f.tbl = make([]float64, len(cm.logp))
+			for b := range f.tbl {
+				f.tbl[b] = cm.logp[b] - cu.logp[b]
+			}
+		case ZeroInflatedExponential:
+			f.zeroDiff = cm.logPi0 - cu.logPi0
+			f.zcM = cm.logPi1 + math.Log(cm.lambda)
+			f.zcU = cu.logPi1 + math.Log(cu.lambda)
+			f.lamM, f.lamU = cm.lambda, cu.lambda
+		default:
+			panic("emfit: unknown family " + f.family.String())
+		}
+	}
+	return s
+}
+
+// term is the per-feature matched−unmatched log-density difference —
+// the same two logPDF values LogOdds subtracts, with their
+// parameter-only subterms precompiled.
+func (f *scorerFeat) term(x float64) float64 {
+	switch f.family {
+	case Gaussian:
+		dM := x - f.muM
+		a := f.gcM - dM*dM/f.twoM
+		dU := x - f.muU
+		b := f.gcU - dU*dU/f.twoU
+		return a - b
+	case Exponential:
+		if x < 0 {
+			x = 0
+		}
+		a := f.logLamM - f.lamM*x
+		b := f.logLamU - f.lamU*x
+		return a - b
+	case Multinomial:
+		return f.tbl[binOf(f.bins, x)]
+	case ZeroInflatedExponential:
+		if x < zeroEps {
+			return f.zeroDiff
+		}
+		a := f.zcM - f.lamM*x
+		b := f.zcU - f.lamU*x
+		return a - b
+	}
+	panic("emfit: unknown family")
+}
+
+// Score returns the Eq. 11 log posterior-odds matching score of γ —
+// bit-identical to Model.LogOdds(gamma).
+func (s *Scorer) Score(gamma []float64) float64 {
+	if len(gamma) != len(s.feats) {
+		panic(fmt.Sprintf("emfit: score with %d features, scorer has %d", len(gamma), len(s.feats)))
+	}
+	sc := s.base
+	for i := range s.feats {
+		sc += s.feats[i].term(gamma[i])
+	}
+	return sc
+}
+
+// ScoreRow scores row j of a feature-major matrix without gathering the
+// row into a contiguous γ slice — the calibration path scores anchor
+// rows straight out of the training matrix.
+func (s *Scorer) ScoreRow(mx *Matrix, j int) float64 {
+	if mx.Features() != len(s.feats) {
+		panic(fmt.Sprintf("emfit: score row with %d features, scorer has %d", mx.Features(), len(s.feats)))
+	}
+	sc := s.base
+	for i := range s.feats {
+		sc += s.feats[i].term(mx.cols[i][j])
+	}
+	return sc
+}

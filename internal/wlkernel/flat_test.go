@@ -1,0 +1,111 @@
+package wlkernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iuad/internal/graph"
+)
+
+// randomGraph draws an Erdős–Rényi-ish graph with name-hash labels.
+func randomGraph(rng *rand.Rand, n int, p float64) (*graph.Graph, []uint64) {
+	g := graph.New(n)
+	labels := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = HashLabel(string(rune('A' + v%7)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g, labels
+}
+
+func flatEqualsMap(t *testing.T, label string, flat []LabelCount, m map[uint64]int) {
+	t.Helper()
+	if len(flat) != len(m) {
+		t.Fatalf("%s: flat has %d labels, map has %d", label, len(flat), len(m))
+	}
+	for i, lc := range flat {
+		if i > 0 && flat[i-1].Label >= lc.Label {
+			t.Fatalf("%s: flat vector not strictly label-sorted at %d", label, i)
+		}
+		if m[lc.Label] != int(lc.Count) {
+			t.Fatalf("%s: label %x count %d, map has %d", label, lc.Label, lc.Count, m[lc.Label])
+		}
+	}
+}
+
+// TestFlatMatchesMapFeatures: the scratch-reusing flat extractor
+// produces exactly the map-based feature multiset — for ego subgraphs
+// (SubgraphFlat vs SubgraphFeatures) and whole graphs (GraphFlat vs
+// Features) — across random graphs, radii, and repeated reuse of one
+// extractor.
+func TestFlatMatchesMapFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var e Extractor // one extractor across every case: reuse must not leak state
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g, labels := randomGraph(rng, n, 0.15)
+		for _, h := range []int{0, 1, 2, 3} {
+			gotGraph := e.GraphFlat(g, labels, h)
+			flatEqualsMap(t, "GraphFlat", gotGraph, Features(g, labels, h))
+			center := rng.Intn(n)
+			labelOf := func(v int) uint64 { return labels[v] }
+			gotSub := e.SubgraphFlat(g, center, h, labelOf)
+			flatEqualsMap(t, "SubgraphFlat", gotSub, SubgraphFeatures(g, center, h, labelOf))
+		}
+	}
+}
+
+// TestDotFlatMatchesDot: flat merge-join kernels equal the map-based
+// kernels bit for bit (integer-valued sums are exact in float64).
+func TestDotFlatMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var e Extractor
+	for trial := 0; trial < 20; trial++ {
+		g, labels := randomGraph(rng, 3+rng.Intn(30), 0.2)
+		a := rng.Intn(g.NumVertices())
+		b := rng.Intn(g.NumVertices())
+		labelOf := func(v int) uint64 { return labels[v] }
+		h := rng.Intn(3)
+		fa := append([]LabelCount(nil), e.SubgraphFlat(g, a, h, labelOf)...)
+		fb := append([]LabelCount(nil), e.SubgraphFlat(g, b, h, labelOf)...)
+		ma := SubgraphFeatures(g, a, h, labelOf)
+		mb := SubgraphFeatures(g, b, h, labelOf)
+		if got, want := DotFlat(fa, fb), Dot(ma, mb); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("DotFlat=%v Dot=%v (bits differ)", got, want)
+		}
+		selfA, selfB := DotFlat(fa, fa), DotFlat(fb, fb)
+		got := NormalizedPreFlat(fa, fb, selfA, selfB)
+		want := NormalizedPre(ma, mb, Dot(ma, ma), Dot(mb, mb))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("NormalizedPreFlat=%v NormalizedPre=%v (bits differ)", got, want)
+		}
+	}
+}
+
+// TestExtractorEpochWrap: the stamp epoch wrapping to zero must reset
+// marks instead of aliasing a stale visited set.
+func TestExtractorEpochWrap(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	labels := []uint64{1, 2, 3}
+	var e Extractor
+	want := append([]LabelCount(nil), e.SubgraphFlat(g, 0, 2, func(v int) uint64 { return labels[v] })...)
+	e.epoch = ^uint32(0) // next call wraps to 0
+	got := e.SubgraphFlat(g, 0, 2, func(v int) uint64 { return labels[v] })
+	if len(got) != len(want) {
+		t.Fatalf("post-wrap extraction has %d labels, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-wrap entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

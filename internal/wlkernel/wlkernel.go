@@ -16,7 +16,7 @@ package wlkernel
 import (
 	"hash/fnv"
 	"math"
-	"sort"
+	"slices"
 
 	"iuad/internal/graph"
 )
@@ -40,7 +40,7 @@ func Features(g *graph.Graph, labels []uint64, h int) map[uint64]int {
 		for v := 0; v < n; v++ {
 			nl = nl[:0]
 			g.VisitNeighbors(v, func(u int) { nl = append(nl, cur[u]) })
-			sort.Slice(nl, func(i, j int) bool { return nl[i] < nl[j] })
+			slices.Sort(nl) // ascending, like the former sort.Slice, minus its per-call swapper allocation
 			next[v] = compress(cur[v], nl)
 		}
 		cur, next = next, cur
