@@ -12,6 +12,14 @@
 //	benchjson [-scale quick] [-workers 1,2,4,8] [-reps 3] [-out BENCH_refine.json]
 //	          [-baseline-ns N -baseline-bytes N -baseline-allocs N]
 //	          [-stage2-baseline-ns N -stage2-baseline-allocs N]
+//	benchjson -accuracy 10000,40000,120000 [-accuracy-out BENCH_accuracy.json] [-accuracy-seed 1]
+//
+// -accuracy switches the harness from perf to the labeled accuracy
+// scenario (internal/accuracy): at each target corpus size it generates
+// a scale-free labeled corpus, runs the batch pipeline and the
+// split-corpus incremental replay, and records pairwise P/R/F1, B³ and
+// purity for both paths, the batch-vs-incremental F1 gap, per-round
+// accuracy curves, and memory/epoch-churn numbers.
 //
 // The emitted file records ns/op per worker count plus the speedup over
 // Workers=1, together with gomaxprocs/num_cpu — speedup is a property
@@ -39,6 +47,7 @@ import (
 
 	"math/rand"
 
+	"iuad/internal/accuracy"
 	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/emfit"
@@ -172,8 +181,16 @@ func main() {
 		emfitBasePrep  = flag.Int64("emfit-baseline-fitprep-ns", 40222406, "baseline fit-prep ns")
 		emfitBaseFit   = flag.Int64("emfit-baseline-emfit-ns", 41764607, "baseline em-fit ns")
 		emfitBaseNote  = flag.String("emfit-baseline-label", "PR-4 row-major EM engine, workers=1, quick scale", "label for the embedded em-fit baseline")
+		accScales      = flag.String("accuracy", "", "comma-separated target corpus sizes (papers) for the labeled accuracy scenario, e.g. 10000,40000,120000; runs the scenario instead of the perf workload and writes -accuracy-out")
+		accOut         = flag.String("accuracy-out", "BENCH_accuracy.json", "output path of the -accuracy report")
+		accSeed        = flag.Int64("accuracy-seed", 1, "generator seed of the -accuracy corpora")
 	)
 	flag.Parse()
+
+	if *accScales != "" {
+		runAccuracy(*accScales, *accOut, *accSeed)
+		return
+	}
 
 	var counts []int
 	for _, tok := range strings.Split(*workers, ",") {
@@ -475,6 +492,74 @@ func writeEMFitReport(path string, rep *Report, em *EMFitReport) {
 		time.Duration(em.EMFitNs).Round(time.Millisecond),
 		time.Duration(em.CombinedNs).Round(time.Millisecond),
 		speed, em.EMIterations, em.AllocsPerEMIteration, path)
+}
+
+// AccuracyScale is one scenario run of the -accuracy report: the
+// requested target plus the full scenario result (realized corpus,
+// degree slope, both paths' metrics and resource numbers, F1 gap).
+type AccuracyScale struct {
+	TargetPapers int `json:"target_papers"`
+	*accuracy.Result
+}
+
+// runAccuracy executes the labeled accuracy scenario at each target
+// corpus size and writes the standalone BENCH_accuracy.json document.
+func runAccuracy(scalesCSV, path string, seed int64) {
+	var targets []int
+	for _, tok := range strings.Split(scalesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1000 {
+			log.Fatalf("bad -accuracy entry %q (want target paper counts ≥ 1000)", tok)
+		}
+		targets = append(targets, n)
+	}
+	sort.Ints(targets)
+	doc := struct {
+		Benchmark   string          `json:"benchmark"`
+		Seed        int64           `json:"seed"`
+		GoMaxProcs  int             `json:"gomaxprocs"`
+		NumCPU      int             `json:"num_cpu"`
+		Scales      []AccuracyScale `json:"scales"`
+		GeneratedAt time.Time       `json:"generated_at"`
+	}{
+		Benchmark:  "LabeledAccuracyScenario",
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, target := range targets {
+		t0 := time.Now()
+		res, err := accuracy.Run(accuracy.Scale(target, seed))
+		if err != nil {
+			log.Fatalf("accuracy target=%d: %v", target, err)
+		}
+		doc.Scales = append(doc.Scales, AccuracyScale{TargetPapers: target, Result: res})
+		b, inc := res.Batch.Metrics, res.Incremental.Metrics
+		fmt.Printf("accuracy target=%d: %d papers, %d ambiguous names, slope %.2f (%v)\n",
+			target, res.Papers, res.AmbiguousNames, res.DegreeSlope, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  batch:       P=%.4f R=%.4f F1=%.4f b3F=%.4f purity=%.4f (%v, heap %.1f MB)\n",
+			b.Pairwise.MicroP, b.Pairwise.MicroR, b.Pairwise.MicroF, b.B3F, b.Purity,
+			time.Duration(res.Batch.WallNs).Round(time.Millisecond),
+			float64(res.Batch.HeapInUseAfter)/(1<<20))
+		fmt.Printf("  incremental: P=%.4f R=%.4f F1=%.4f b3F=%.4f purity=%.4f (gap %.4f, %d epochs, replay %v)\n",
+			inc.Pairwise.MicroP, inc.Pairwise.MicroR, inc.Pairwise.MicroF, inc.B3F, inc.Purity,
+			res.PairwiseF1Gap, res.Incremental.EpochPublishes,
+			time.Duration(res.Incremental.ReplayNs).Round(time.Millisecond))
+	}
+	doc.GeneratedAt = time.Now().UTC()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // measureIngest times the serving write path: the same deterministic

@@ -1,0 +1,145 @@
+package accuracy
+
+import (
+	"testing"
+
+	"iuad/internal/bib"
+	"iuad/internal/core"
+)
+
+// TestIncrementalWithinTolerance is the incremental-vs-batch equivalence
+// guard: replaying the corpus suffix through AddPapers after a prefix
+// fit must land within a stated tolerance of the all-batch run. The
+// quick scenario at PrefixFrac 0.95 measures a pairwise-F1 gap of ~0.11;
+// the band below (gap ≤ 0.25, incremental F1 ≥ 0.70) has headroom for
+// cross-architecture floating-point drift while still failing on any
+// real regression of the §V-E path (a broken incremental scorer turns
+// every streamed slot into a singleton and the gap jumps past 0.4).
+func TestIncrementalWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick scenario; the pin test covers -short")
+	}
+	cfg := Quick()
+	cfg.ReplayBatch = 64
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental == nil {
+		t.Fatal("scenario skipped the incremental path")
+	}
+	b, inc := res.Batch.Metrics, res.Incremental.Metrics
+	t.Logf("batch F1=%.4f incremental F1=%.4f gap=%.4f", b.Pairwise.MicroF, inc.Pairwise.MicroF, res.PairwiseF1Gap)
+	if res.PairwiseF1Gap > 0.25 {
+		t.Errorf("incremental replay lost %.4f pairwise F1 vs batch (batch %.4f, incremental %.4f); tolerance 0.25",
+			res.PairwiseF1Gap, b.Pairwise.MicroF, inc.Pairwise.MicroF)
+	}
+	if inc.Pairwise.MicroF < 0.70 {
+		t.Errorf("incremental pairwise F1=%.4f below 0.70 floor", inc.Pairwise.MicroF)
+	}
+	if inc.Purity < 0.90 {
+		t.Errorf("incremental purity=%.4f below 0.90: streamed slots are being merged into wrong authors", inc.Purity)
+	}
+	// Both paths score the same instances: the evaluation set is the full
+	// corpus's ambiguous blocks regardless of how assignments were made.
+	if b.Instances != inc.Instances || b.Blocks != inc.Blocks {
+		t.Errorf("paths scored different evaluation sets: batch %d/%d, incremental %d/%d instances/blocks",
+			b.Instances, b.Blocks, inc.Instances, inc.Blocks)
+	}
+	if b.Unlabeled != 0 || inc.Unlabeled != 0 {
+		t.Errorf("synth corpora are fully labeled; excluded %d/%d slots", b.Unlabeled, inc.Unlabeled)
+	}
+	// Epoch churn: one publish per AddPapers batch.
+	wantEpochs := (res.Incremental.StreamedPapers + cfg.ReplayBatch - 1) / cfg.ReplayBatch
+	if res.Incremental.EpochPublishes != wantEpochs {
+		t.Errorf("EpochPublishes=%d, want %d (%d streamed / batch %d)",
+			res.Incremental.EpochPublishes, wantEpochs, res.Incremental.StreamedPapers, cfg.ReplayBatch)
+	}
+	if res.Incremental.PrefixPapers+res.Incremental.StreamedPapers != res.Papers {
+		t.Errorf("prefix %d + streamed %d != corpus %d",
+			res.Incremental.PrefixPapers, res.Incremental.StreamedPapers, res.Papers)
+	}
+	// Per-round curves: one entry per merge round, the last one equal to
+	// the final batch metrics (the hook observed the final network).
+	rounds := cfg.Core.MergeRounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	if len(res.Batch.Rounds) != rounds {
+		t.Fatalf("got %d round curves, want %d", len(res.Batch.Rounds), rounds)
+	}
+	last := res.Batch.Rounds[len(res.Batch.Rounds)-1].Metrics
+	if last.Pairwise != b.Pairwise {
+		t.Errorf("last round curve %+v != final batch metrics %+v", last.Pairwise, b.Pairwise)
+	}
+	// Refinement must never lose pairwise F1 across rounds on the quick
+	// corpus (it exists to raise recall at held precision).
+	for i := 1; i < len(res.Batch.Rounds); i++ {
+		prev, cur := res.Batch.Rounds[i-1].Metrics, res.Batch.Rounds[i].Metrics
+		if cur.Pairwise.MicroF < prev.Pairwise.MicroF-1e-9 {
+			t.Errorf("round %d dropped pairwise F1: %.4f -> %.4f",
+				i, prev.Pairwise.MicroF, cur.Pairwise.MicroF)
+		}
+	}
+}
+
+// TestEvaluateNetworkExcludesUnlabeled locks the exclusion contract at
+// the scenario layer: author slots without ground truth (explicit
+// UnknownAuthor or a fully unlabeled paper) are excluded from every
+// metric — reassigning an unlabeled slot to a different cluster must not
+// move any score, only the UnlabeledExcluded count reports it.
+func TestEvaluateNetworkExcludesUnlabeled(t *testing.T) {
+	build := func() *bib.Corpus {
+		c := bib.NewCorpus(4)
+		c.MustAdd(bib.Paper{Title: "alpha", Authors: []string{"x yan", "m wu"}, Truth: []bib.AuthorID{1, 7}})
+		c.MustAdd(bib.Paper{Title: "beta", Authors: []string{"x yan"}, Truth: []bib.AuthorID{1}})
+		c.MustAdd(bib.Paper{Title: "gamma", Authors: []string{"x yan"}, Truth: []bib.AuthorID{2}})
+		// Slot with an explicit unknown label, and a fully unlabeled paper.
+		c.MustAdd(bib.Paper{Title: "delta", Authors: []string{"x yan", "k ito"}, Truth: []bib.AuthorID{bib.UnknownAuthor, 9}})
+		c.MustAdd(bib.Paper{Title: "epsilon", Authors: []string{"x yan"}})
+		c.Freeze()
+		return c
+	}
+	corpus := build()
+	slot := func(p, i int) core.Slot { return core.Slot{Paper: bib.PaperID(p), Index: i} }
+	assign := map[core.Slot]int{
+		slot(0, 0): 10, slot(1, 0): 10, slot(2, 0): 11,
+		slot(3, 0): 10, slot(4, 0): 10,
+	}
+	names := []string{"x yan"}
+	got := EvaluateNetwork(corpus, &core.Network{SlotVertex: assign}, names)
+	if got.Unlabeled != 2 {
+		t.Fatalf("Unlabeled=%d, want 2 (one UnknownAuthor slot, one unlabeled paper)", got.Unlabeled)
+	}
+	if got.Instances != 3 {
+		t.Fatalf("Instances=%d, want 3 labeled", got.Instances)
+	}
+	// Move both unlabeled slots to a fresh cluster: no metric may move.
+	assign[slot(3, 0)] = 99
+	assign[slot(4, 0)] = 42
+	moved := EvaluateNetwork(corpus, &core.Network{SlotVertex: assign}, names)
+	if got != moved {
+		t.Errorf("reassigning unlabeled slots changed metrics:\n  was %+v\n  now %+v", got, moved)
+	}
+	// Perfect labeled clustering here: {p0,p1}=author 1 together, p2=author 2 alone.
+	if got.Pairwise.MicroP != 1 || got.Pairwise.MicroR != 1 || got.Purity != 1 {
+		t.Errorf("labeled subset should score perfectly, got %+v", got)
+	}
+}
+
+// TestEvaluateNetworkUnassignedSlots covers the totality fallback: slots
+// the network never assigned become distinct singletons, not a shared
+// garbage cluster (which would fake recall).
+func TestEvaluateNetworkUnassignedSlots(t *testing.T) {
+	c := bib.NewCorpus(2)
+	c.MustAdd(bib.Paper{Title: "a", Authors: []string{"j kim"}, Truth: []bib.AuthorID{5}})
+	c.MustAdd(bib.Paper{Title: "b", Authors: []string{"j kim"}, Truth: []bib.AuthorID{5}})
+	c.Freeze()
+	got := EvaluateNetwork(c, &core.Network{}, []string{"j kim"})
+	if got.Pairwise.MicroR != 0 || got.Pairwise.MicroF != 0 {
+		t.Errorf("unassigned same-author slots must count as missed pairs: %+v", got.Pairwise)
+	}
+	if got.Purity != 1 {
+		t.Errorf("singletons are pure, got purity=%v", got.Purity)
+	}
+}

@@ -161,6 +161,15 @@ type Config struct {
 	// not mutate pipeline state. Never serialized.
 	StageHook func(stage string, d time.Duration) `json:"-"`
 
+	// RoundHook, when non-nil, observes the network after each stage-2
+	// merge round: round 0 is the initial decision merge (Alg. 1 lines
+	// 14-15), rounds 1..MergeRounds-1 are the refinement contractions.
+	// The labeled accuracy scenario uses it to record per-round accuracy
+	// curves (how much each refinement round buys or costs). The network
+	// is the live pipeline state: the hook must treat it as read-only and
+	// not retain it past the call. Never serialized.
+	RoundHook func(round int, net *Network) `json:"-"`
+
 	// symCache is set by BuildGCN so every similarityComputer of one run
 	// shares the per-symbol lookup tables (see symbolCaches). Unexported:
 	// internal plumbing, invisible to JSON config serialization, and

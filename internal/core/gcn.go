@@ -157,6 +157,9 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 	}
 	pl.GCN = pl.mergeAt(calibration + cfg.Delta)
 	lap("decision")
+	if cfg.RoundHook != nil {
+		cfg.RoundHook(0, pl.GCN)
+	}
 
 	// Iterative refinement (MergeRounds > 1): rescore the contracted
 	// network with the same model; merged vertices carry richer profiles
@@ -174,6 +177,9 @@ func BuildGCN(corpus *bib.Corpus, scn *Network, emb *textvec.Embeddings, cfg Con
 		before := pl.GCN.VertexCount()
 		pl.GCN = pl.refineOnce(st, pl.GCN, calibration+cfg.Delta+refinePenalty*float64(round), rng)
 		lap(fmt.Sprintf("refine-round-%d", round))
+		if cfg.RoundHook != nil {
+			cfg.RoundHook(round, pl.GCN)
+		}
 		if pl.GCN.VertexCount() == before {
 			break
 		}

@@ -35,19 +35,28 @@ type PairCounts struct {
 //	TP+FP     = Σ_c  C(n_c, 2)
 //	TP+FN     = Σ_t  C(n_t, 2)
 //	total     = C(n, 2)
+//
+// Instances with Truth < 0 (unlabeled slots, bib.UnknownAuthor) carry no
+// ground-truth signal and are excluded entirely — they contribute to no
+// cell of the confusion table, so partially labeled corpora score
+// exactly like their labeled subset.
 func (pc *PairCounts) AddName(instances []Instance) {
-	n := int64(len(instances))
-	if n < 2 {
-		return
-	}
 	type cell struct{ c, t int }
 	cells := make(map[cell]int64)
 	byCluster := make(map[int]int64)
 	byTruth := make(map[int]int64)
+	var n int64
 	for _, in := range instances {
+		if in.Truth < 0 {
+			continue
+		}
 		cells[cell{in.Cluster, in.Truth}]++
 		byCluster[in.Cluster]++
 		byTruth[in.Truth]++
+		n++
+	}
+	if n < 2 {
+		return
 	}
 	var tp, samePred, sameTruth int64
 	for _, k := range cells {

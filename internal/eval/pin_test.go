@@ -1,0 +1,57 @@
+package eval_test
+
+// The quick-corpus accuracy pin. It lives in internal/eval (the metrics
+// layer whose numbers it pins) as an external test package so it can
+// drive the full scenario through internal/accuracy, which itself
+// imports eval — a plain eval test would cycle.
+//
+// Everything upstream is deterministic — synth generation per seed and
+// the pipeline per config (bit-identical for every worker count) — so
+// the bands below are tolerance for deliberate algorithmic change and
+// cross-architecture floating-point drift, not run-to-run noise. The
+// measured quick-corpus values (seed 1) are:
+//
+//	pairwise micro-F1  0.9211
+//	B³ F1              0.8346
+//	purity             0.9826
+//
+// Bands are ±0.02–0.05 below the measurement (a real accuracy
+// regression on this corpus moves F1 by far more; see the incremental
+// gap measurements in internal/accuracy) and bounded above at 0.995:
+// near-perfect scores on a corpus with genuinely hard homonym blocks
+// mean ground truth leaked into the features, which is as much a bug as
+// a recall collapse.
+
+import (
+	"testing"
+
+	"iuad/internal/accuracy"
+)
+
+func TestQuickCorpusAccuracyPin(t *testing.T) {
+	cfg := accuracy.Quick()
+	cfg.PrefixFrac = 0 // batch path only: the pin must stay cheap for -short CI
+	res, err := accuracy.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Batch.Metrics
+	t.Logf("pairwise=%+v b3F=%.4f purity=%.4f instances=%d blocks=%d",
+		m.Pairwise, m.B3F, m.Purity, m.Instances, m.Blocks)
+	if m.Instances < 1000 || m.Blocks < 30 {
+		t.Fatalf("evaluation set shrank: %d instances over %d blocks — the pin no longer measures anything",
+			m.Instances, m.Blocks)
+	}
+	pin := func(name string, got, lo, hi float64) {
+		if got < lo {
+			t.Errorf("%s=%.4f below pin band [%.2f, %.3f]: accuracy regression", name, got, lo, hi)
+		}
+		if got > hi {
+			t.Errorf("%s=%.4f above pin band [%.2f, %.3f]: suspicious — check for truth leakage", name, got, lo, hi)
+		}
+	}
+	pin("pairwise micro-F1", m.Pairwise.MicroF, 0.90, 0.995)
+	pin("pairwise precision", m.Pairwise.MicroP, 0.94, 0.995)
+	pin("B³ F1", m.B3F, 0.78, 0.995)
+	pin("purity", m.Purity, 0.95, 1.0)
+}

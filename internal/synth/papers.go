@@ -15,6 +15,7 @@ func (g *generator) buildAuthors() {
 	g.dataset = &Dataset{Config: cfg}
 	g.dataset.Authors = make([]Author, cfg.Authors)
 	g.members = make([][]int, cfg.Communities)
+	g.collabBag = make([][]int32, cfg.Communities)
 	g.partnersOf = make([]map[int]int, cfg.Authors)
 	g.partnerOrder = make([][]int, cfg.Authors)
 
@@ -179,6 +180,16 @@ func (g *generator) onePaper(lead int) bib.Paper {
 			}
 			g.partnersOf[u][v]++
 			g.partnersOf[v][u]++
+			if g.cfg.PreferentialAttachment > 0 {
+				// Every collaboration event drops each endpoint into its
+				// community's bag: sampling the bag uniformly is sampling
+				// authors proportional to collaboration degree, the
+				// constant-time preferential-attachment step.
+				g.collabBag[g.dataset.Authors[u].Community] = append(
+					g.collabBag[g.dataset.Authors[u].Community], int32(u))
+				g.collabBag[g.dataset.Authors[v].Community] = append(
+					g.collabBag[g.dataset.Authors[v].Community], int32(v))
+			}
 		}
 	}
 
@@ -218,6 +229,18 @@ func (g *generator) pickPartner(lead int) int {
 	comm := g.dataset.Authors[lead].Community
 	if g.rng.Float64() < g.cfg.CrossCommunityRate {
 		comm = g.rng.Intn(g.cfg.Communities)
+	}
+	if pa := g.cfg.PreferentialAttachment; pa > 0 {
+		if bag := g.collabBag[comm]; len(bag) > 0 && g.rng.Float64() < pa {
+			for tries := 0; tries < 8; tries++ {
+				cand := int(bag[g.rng.Intn(len(bag))])
+				if cand != lead {
+					return cand
+				}
+			}
+			// Fall through to the uniform fill (tiny bags dominated by
+			// the lead's own entries).
+		}
 	}
 	pool := g.members[comm]
 	if len(pool) <= 1 {

@@ -69,6 +69,32 @@ type Config struct {
 	// authors-per-name spread of the paper's Table II test set.
 	HomonymRate       float64
 	HomonymMaxAuthors int
+	// HomonymBlockP is the continuation probability of homonym block
+	// growth: a shared name keeps acquiring carriers (up to
+	// HomonymMaxAuthors) while a HomonymBlockP coin keeps landing, so
+	// block sizes are geometric with this parameter. 0 means the legacy
+	// 0.55 (mean block ≈ 3.1 authors); smaller values skew blocks toward
+	// pairs, larger ones toward the Wei-Wang-sized tail.
+	HomonymBlockP float64
+
+	// Surnames/GivenNames size the combinatorial name space the
+	// non-homonym population draws from; accidental collisions (the
+	// "realistic" ambiguity on top of the controlled homonym blocks)
+	// scale as Authors²/(2·Surnames·GivenNames). 0 means the legacy
+	// 120×340 pool — large corpora must widen the pool or the accidental
+	// collision rate dwarfs the controlled one.
+	Surnames   int
+	GivenNames int
+
+	// PreferentialAttachment in [0,1) is the probability that a fresh
+	// (non-repeat) co-author slot is filled by degree-proportional
+	// sampling over the community's past collaborators instead of
+	// uniformly — the Barabási–Albert "rich get richer" step that gives
+	// the coauthor degree distribution a scale-free tail (Kim's
+	// collaboration-network analysis). 0 disables it (legacy uniform
+	// fill; the repeat-collaboration bias alone sharpens pair
+	// frequencies but leaves the degree tail thin).
+	PreferentialAttachment float64
 
 	// YearMin/YearMax bound publication years. CareerYears is the mean
 	// active-span length of an author.
@@ -199,6 +225,11 @@ type generator struct {
 	partnersOf   []map[int]int // author -> partner -> co-pub count
 	partnerOrder [][]int       // author -> partners in first-seen order
 	members      [][]int       // community -> author ids
+	// collabBag implements degree-proportional sampling when
+	// PreferentialAttachment > 0: each community holds a multiset of its
+	// members with one entry per collaboration event, so a uniform draw
+	// from the bag is a draw proportional to collaboration degree.
+	collabBag [][]int32
 }
 
 var syllables = []string{
@@ -286,13 +317,27 @@ func acronym(rng *rand.Rand) string {
 // most names are unique and a tail of names is heavily shared.
 func (g *generator) buildNames() {
 	nSur, nGiven := 120, 340
+	if g.cfg.Surnames > 0 {
+		nSur = g.cfg.Surnames
+	}
+	if g.cfg.GivenNames > 0 {
+		nGiven = g.cfg.GivenNames
+	}
+	// The 1-2 syllable word space holds ~3.6k distinct title-cased words;
+	// scaled name pools would saturate it and spin the dedup loop, so
+	// they draw from the 1-3 syllable space (~220k words) instead. The
+	// legacy pool keeps the short draw — and its exact rng stream.
+	maxSyl := 2
+	if nSur+nGiven > 1500 {
+		maxSyl = 3
+	}
 	surnames := make([]string, nSur)
 	givens := make([]string, nGiven)
 	seen := map[string]struct{}{}
 	fill := func(out []string) {
 		for i := range out {
 			for {
-				w := title(g.syllableWord(1 + g.rng.Intn(2)))
+				w := title(g.syllableWord(1 + g.rng.Intn(maxSyl)))
 				if _, dup := seen[w]; !dup {
 					seen[w] = struct{}{}
 					out[i] = w
@@ -324,8 +369,12 @@ func (g *generator) buildNames() {
 		}
 		used[n] = struct{}{}
 		g.homonyms = append(g.homonyms, n)
+		blockP := g.cfg.HomonymBlockP
+		if blockP <= 0 {
+			blockP = 0.55
+		}
 		m := 2
-		for m < maxShare && g.rng.Float64() < 0.55 {
+		for m < maxShare && g.rng.Float64() < blockP {
 			m++
 		}
 		for k := 0; k < m && len(names) < homSlots; k++ {
