@@ -7,7 +7,8 @@
 // Endpoints:
 //
 //	GET  /healthz                      liveness (also reports the epoch)
-//	GET  /v1/stats                     published network sizes
+//	GET  /v1/stats                     published network sizes (incl. shard count)
+//	GET  /shards                       per-shard debug: epoch, slots, pending queue depth
 //	GET  /v1/authors?name=Wei+Wang     the homonym set of an exact name
 //	GET  /v1/authors/{id}              one author: name, papers, years, venues
 //	GET  /v1/authors/{id}/coauthors    the author's collaboration neighbors
@@ -66,17 +67,23 @@ func main() {
 		corpusPth = flag.String("corpus", "", "JSONL corpus to fit when no snapshot exists")
 		snapPath  = flag.String("snapshot", "", "service snapshot: loaded if present, written on shutdown")
 		workers   = flag.Int("workers", 0, "worker pool bound (0 = one per logical CPU)")
+		shards    = flag.Int("shards", 1, "serving-state shards keyed by name block (1-256)")
+		partial   = flag.Bool("allow-partial", false, "serve a composite snapshot even when segment files are missing (lost shards restart empty)")
 		synthetic = flag.Bool("synthetic", false, "fit a small synthetic corpus when no snapshot/corpus is given (demo/smoke)")
 	)
 	flag.Parse()
 
-	svc, err := openService(*corpusPth, *snapPath, *workers, *synthetic)
+	svc, err := openService(*corpusPth, *snapPath, *workers, *shards, *partial, *synthetic)
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := svc.Stats()
-	log.Printf("serving epoch %d: %d papers, %d authors, %d edges",
-		st.Epoch, st.Papers, st.Authors, st.Edges)
+	log.Printf("serving epoch %d: %d papers, %d authors, %d edges, %d shards",
+		st.Epoch, st.Papers, st.Authors, st.Edges, st.Shards)
+	if rep := svc.Recovery(); rep != nil {
+		log.Printf("PARTIAL RECOVERY: segments %v lost (%d authors, %d slots); %d edges and %d retained pairs dropped",
+			rep.MissingSegments, rep.LostAuthors, rep.LostSlots, rep.DroppedEdges, rep.DroppedPairs)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -112,8 +119,11 @@ func main() {
 
 // openService builds the Service from (in priority order) an existing
 // snapshot, a JSONL corpus, or the synthetic demo corpus.
-func openService(corpusPath, snapPath string, workers int, synthetic bool) (*iuad.Service, error) {
-	opts := []iuad.Option{iuad.WithWorkers(workers)}
+func openService(corpusPath, snapPath string, workers, shards int, partial, synthetic bool) (*iuad.Service, error) {
+	opts := []iuad.Option{iuad.WithWorkers(workers), iuad.WithShards(shards)}
+	if partial {
+		opts = append(opts, iuad.WithPartialRecovery())
+	}
 	if snapPath != "" {
 		opts = append(opts, iuad.WithSnapshot(snapPath))
 		if _, err := os.Stat(snapPath); err == nil {
@@ -198,6 +208,13 @@ func newHandler(svc *iuad.Service) http.Handler {
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":      svc.Epoch(),
+			"shards":     svc.Shards(),
+			"contention": svc.Contention(),
+		})
 	})
 	mux.HandleFunc("/v1/resolve", func(w http.ResponseWriter, r *http.Request) {
 		paper, err1 := strconv.Atoi(r.URL.Query().Get("paper"))

@@ -41,11 +41,27 @@ func SavePipeline(w io.Writer, pl *Pipeline) error {
 	if pl == nil || pl.GCN == nil || pl.SCN == nil {
 		return fmt.Errorf("core: SavePipeline before BuildGCN")
 	}
+	if hasDeadVertices(pl.GCN) {
+		return fmt.Errorf("core: pipeline carries dead vertices from a partial recovery; only the sharded snapshot format can save it")
+	}
 	sw := snapshot.NewWriter(w, SnapshotVersion)
-	if err := encodePipelineBody(sw, pl); err != nil {
+	if err := encodePipelineBody(sw, pl, true); err != nil {
 		return err
 	}
 	return sw.Close()
+}
+
+// hasDeadVertices reports whether any vertex was voided by a partial
+// snapshot recovery (NameID < 0). The legacy single-file formats have
+// no way to express such holes; the composite format records them in
+// its manifest.
+func hasDeadVertices(n *Network) bool {
+	for i := range n.Verts {
+		if n.Verts[i].NameID < 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SaveService serializes a serving snapshot: the publish epoch of the
@@ -58,9 +74,12 @@ func SaveService(w io.Writer, pl *Pipeline, epoch uint64) error {
 	if pl == nil || pl.GCN == nil || pl.SCN == nil {
 		return fmt.Errorf("core: SaveService before BuildGCN")
 	}
+	if hasDeadVertices(pl.GCN) {
+		return fmt.Errorf("core: pipeline carries dead vertices from a partial recovery; only the sharded snapshot format can save it")
+	}
 	sw := snapshot.NewWriter(w, ServiceSnapshotVersion)
 	sw.Uvarint(epoch)
-	if err := encodePipelineBody(sw, pl); err != nil {
+	if err := encodePipelineBody(sw, pl, true); err != nil {
 		return err
 	}
 	return sw.Close()
@@ -77,7 +96,7 @@ func LoadService(r io.Reader) (*Pipeline, uint64, error) {
 	if err := sr.Err(); err != nil {
 		return nil, 0, err
 	}
-	pl, err := decodePipelineBody(sr)
+	pl, err := decodePipelineBody(sr, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -85,8 +104,11 @@ func LoadService(r io.Reader) (*Pipeline, uint64, error) {
 }
 
 // encodePipelineBody writes the pipeline payload shared by pipeline-
-// and service-level snapshots onto an already-opened writer.
-func encodePipelineBody(sw *snapshot.Writer, pl *Pipeline) error {
+// and service-level snapshots onto an already-opened writer. withGCN
+// selects the legacy layout (GCN inline, byte-stable for the v1/v1001
+// formats); the sharded composite format passes false and stores the
+// GCN in per-shard segment files instead.
+func encodePipelineBody(sw *snapshot.Writer, pl *Pipeline, withGCN bool) error {
 	cfgJSON, err := json.Marshal(&pl.Cfg)
 	if err != nil {
 		return fmt.Errorf("core: marshal config: %w", err)
@@ -105,7 +127,9 @@ func encodePipelineBody(sw *snapshot.Writer, pl *Pipeline) error {
 		pl.Emb.EncodeSnapshot(sw)
 	}
 	encodeNetwork(sw, pl.SCN)
-	encodeNetwork(sw, pl.GCN)
+	if withGCN {
+		encodeNetwork(sw, pl.GCN)
+	}
 	sw.Bool(pl.Model != nil)
 	if pl.Model != nil {
 		pl.Model.EncodeSnapshot(sw)
@@ -141,12 +165,15 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodePipelineBody(sr)
+	return decodePipelineBody(sr, true)
 }
 
 // decodePipelineBody reads the pipeline payload shared by pipeline-
-// and service-level snapshots from an already-opened reader.
-func decodePipelineBody(sr *snapshot.Reader) (*Pipeline, error) {
+// and service-level snapshots from an already-opened reader. With
+// withGCN false (the sharded composite's common section) the GCN is
+// absent from the stream: the caller merges it from segment files and
+// then calls finishRestore itself.
+func decodePipelineBody(sr *snapshot.Reader, withGCN bool) (*Pipeline, error) {
 	cfgJSON := sr.Bytes()
 	if err := sr.Err(); err != nil {
 		return nil, err
@@ -190,9 +217,11 @@ func decodePipelineBody(sr *snapshot.Reader) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	gcn, err := decodeNetwork(sr, corpus)
-	if err != nil {
-		return nil, err
+	var gcn *Network
+	if withGCN {
+		if gcn, err = decodeNetwork(sr, corpus); err != nil {
+			return nil, err
+		}
 	}
 	var model *emfit.Model
 	if sr.Bool() {
@@ -275,20 +304,33 @@ func decodePipelineBody(sr *snapshot.Reader) (*Pipeline, error) {
 	if err := sr.Err(); err != nil {
 		return nil, err
 	}
-	// Paper IDs inside the networks could only be range-checked once the
-	// incremental stream length was known; a corrupt ID must be a decode
-	// error here, not an index panic at serving time.
-	totalPapers := corpus.Len() + len(pl.extra)
+	if !withGCN {
+		return pl, nil // caller merges the GCN and calls finishRestore
+	}
+	if err := pl.finishRestore(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// finishRestore validates the decoded networks and re-seeds derived
+// state, once the GCN is in place — inline for the legacy formats,
+// merged from segment files for the sharded composite. Paper IDs
+// inside the networks can only be range-checked once the incremental
+// stream length is known; a corrupt ID must be a decode error here,
+// not an index panic at serving time.
+func (pl *Pipeline) finishRestore() error {
+	totalPapers := pl.Corpus.Len() + len(pl.extra)
 	for _, net := range []struct {
 		name string
 		n    *Network
 	}{{"SCN", pl.SCN}, {"GCN", pl.GCN}} {
 		if err := validatePaperIDs(net.n, totalPapers); err != nil {
-			return nil, fmt.Errorf("core: snapshot %s: %w", net.name, err)
+			return fmt.Errorf("core: snapshot %s: %w", net.name, err)
 		}
 	}
 	pl.sim = newSimilarityComputer(pl.GCN, pl, pl.Emb, &pl.Cfg)
-	return pl, nil
+	return nil
 }
 
 // validatePaperIDs bounds-checks every decoded paper reference of a

@@ -6,11 +6,9 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"iuad/internal/bib"
 	"iuad/internal/core"
@@ -31,14 +29,24 @@ import (
 // reader may observe the epoch from just before a concurrent write —
 // never a torn one. See DESIGN.md §8.
 //
+// # Sharding
+//
+// The serving state is partitioned by name block across N shards
+// (WithShards; see DESIGN.md §11). Core assignment stays serialized —
+// that is what makes results bit-identical for every shard count — but
+// the publish work of a write batch fans out to only the shards its
+// author names hash to, so unrelated name blocks never contend on one
+// writer's publish, and queries fan out lock-free over the shards'
+// immutable segments and merge deterministically.
+//
 // Construct a Service with Open (corpus in, fitted service out) or
 // NewService (wrap an already-fitted Pipeline).
 type Service struct {
 	mu           sync.Mutex // serializes writers and snapshotting
 	pl           *core.Pipeline
 	pub          *core.ViewPublisher
-	view         atomic.Pointer[core.View]
 	snapshotPath string
+	recovery     *core.RecoveryReport
 	closed       bool
 }
 
@@ -72,6 +80,8 @@ type options struct {
 	workers      int
 	workersSet   bool
 	snapshotPath string
+	shards       int
+	allowPartial bool
 }
 
 // Option configures Open and NewService.
@@ -97,6 +107,26 @@ func WithSnapshot(path string) Option {
 	return func(o *options) { o.snapshotPath = path }
 }
 
+// WithShards partitions the serving state across n shards keyed by the
+// hash of the author-name block (clamped to [1, 256]; default 1).
+// Assignments and every query answer are bit-identical for every
+// value; the knob only changes write-path contention and snapshot
+// layout: with n > 1 snapshots are saved as a composite manifest plus
+// one segment file per shard, written and loaded in parallel.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithPartialRecovery lets Open serve a composite snapshot even when
+// some segment files are missing or corrupt: the lost shards' authors
+// come back as unknown (their names simply start from scratch on the
+// next ingest) while every surviving shard answers exactly as before.
+// Recovery reports what was lost. Without this option a damaged
+// composite refuses to load.
+func WithPartialRecovery() Option {
+	return func(o *options) { o.allowPartial = true }
+}
+
 // Open builds a serving Service. With a snapshot option whose file
 // exists, the service is restored from it — no EM re-run, and the
 // restored service answers every query and ingest bit-identically to
@@ -111,17 +141,12 @@ func Open(corpus *Corpus, opts ...Option) (*Service, error) {
 		opt(&o)
 	}
 	if o.snapshotPath != "" {
-		f, err := os.Open(o.snapshotPath)
+		pl, epoch, seeds, rep, err := core.OpenServiceSnapshot(o.snapshotPath, o.allowPartial)
 		switch {
 		case err == nil:
-			defer f.Close()
-			pl, epoch, err := core.LoadService(f)
-			if err != nil {
-				return nil, fmt.Errorf("iuad: load snapshot %s: %w", o.snapshotPath, err)
-			}
-			return newService(pl, epoch, &o), nil
+			return newService(pl, epoch, &o, seeds, rep), nil
 		case !errors.Is(err, fs.ErrNotExist):
-			return nil, fmt.Errorf("iuad: open snapshot %s: %w", o.snapshotPath, err)
+			return nil, fmt.Errorf("iuad: load snapshot %s: %w", o.snapshotPath, err)
 		}
 	}
 	if corpus == nil {
@@ -141,7 +166,7 @@ func Open(corpus *Corpus, opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newService(pl, 0, &o), nil
+	return newService(pl, 0, &o, nil, nil), nil
 }
 
 // NewService wraps an already-fitted pipeline (e.g. one built with
@@ -156,20 +181,19 @@ func NewService(pl *Pipeline, opts ...Option) (*Service, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return newService(pl, 0, &o), nil
+	return newService(pl, 0, &o, nil, nil), nil
 }
 
-func newService(pl *core.Pipeline, epoch uint64, o *options) *Service {
+func newService(pl *core.Pipeline, epoch uint64, o *options, seeds []core.ShardSeed, rep *core.RecoveryReport) *Service {
 	if o.workersSet {
 		pl.Cfg.Workers = o.workers
 	}
-	s := &Service{
+	return &Service{
 		pl:           pl,
-		pub:          core.NewViewPublisher(pl, epoch),
+		pub:          core.NewShardedViewPublisher(pl, epoch, core.NormShards(o.shards), seeds),
 		snapshotPath: o.snapshotPath,
+		recovery:     rep,
 	}
-	s.view.Store(s.pub.Current())
-	return s
 }
 
 // AddPaper disambiguates and registers one newly published paper
@@ -193,29 +217,46 @@ func (s *Service) AddPaper(ctx context.Context, p Paper) ([]Assignment, error) {
 // error) the already-ingested prefix is still published and returned
 // alongside the error; nothing of the failed paper is registered.
 func (s *Service) AddPapers(ctx context.Context, batch []Paper) ([][]Assignment, error) {
+	// Route first: raise the pending counters of the shards this
+	// batch's author names hash to, so /shards shows queue depth while
+	// the batch waits for the serialized core-ingest lock.
+	done := s.pub.RouteBegin(batch)
+	defer done()
+	t0 := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pub.AddIngestWait(time.Since(t0).Nanoseconds())
 	if s.closed {
+		s.mu.Unlock()
 		return nil, ErrClosed
 	}
 	res, err := s.pl.AddPapers(ctx, batch)
+	var pc *core.PublishCapture
 	if len(res) > 0 {
-		s.view.Store(s.pub.Publish(res))
+		// Capture is the only publish work that must run under the
+		// write lock (it snapshots what the batch touched, O(touch)).
+		pc = s.pub.Capture(res)
+	}
+	s.mu.Unlock()
+	if pc != nil {
+		// Apply outside the lock: batches touching disjoint name
+		// blocks update their shards concurrently; only same-shard
+		// batches serialize, on that shard's apply lock.
+		s.pub.Apply(pc)
 	}
 	return res, err
 }
 
 // Stats returns the sizes of the currently published epoch.
-func (s *Service) Stats() Stats { return s.view.Load().Stats() }
+func (s *Service) Stats() Stats { return s.pub.Current().Stats() }
 
 // Epoch returns the current publish epoch (one publish per write
 // batch; readers can use it to detect progress).
-func (s *Service) Epoch() uint64 { return s.view.Load().Epoch() }
+func (s *Service) Epoch() uint64 { return s.pub.Current().Epoch() }
 
 // ResolveSlot answers "who wrote the Index-th name of this paper": the
 // author the slot is assigned to in the published network.
 func (s *Service) ResolveSlot(slot Slot) (Author, error) {
-	v := s.view.Load()
+	v := s.pub.Current()
 	id, ok := v.ResolveSlot(slot)
 	if !ok {
 		return Author{}, fmt.Errorf("%w: paper %d index %d", ErrUnknownSlot, slot.Paper, slot.Index)
@@ -227,7 +268,7 @@ func (s *Service) ResolveSlot(slot Slot) (Author, error) {
 // Author returns the author record for a vertex ID (as returned by
 // assignments, ResolveSlot, Coauthors or AuthorsByName).
 func (s *Service) Author(id int) (Author, error) {
-	v := s.view.Load()
+	v := s.pub.Current()
 	a, ok := authorAt(v, id)
 	if !ok {
 		return Author{}, fmt.Errorf("%w: %d", ErrUnknownAuthor, id)
@@ -242,7 +283,7 @@ func (s *Service) Author(id int) (Author, error) {
 // network that is the expensive read; callers that only need IDs or
 // degrees should take Author(id).Coauthors instead.
 func (s *Service) Coauthors(id int) ([]Author, error) {
-	v := s.view.Load()
+	v := s.pub.Current()
 	nbrs, ok := v.Coauthors(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownAuthor, id)
@@ -260,7 +301,7 @@ func (s *Service) Coauthors(id int) ([]Author, error) {
 // name, ascending by ID — the homonym set the disambiguator split the
 // name into. An unknown name yields an empty slice, not an error.
 func (s *Service) AuthorsByName(name string) []Author {
-	v := s.view.Load()
+	v := s.pub.Current()
 	ids := v.VerticesOfName(name)
 	out := make([]Author, 0, len(ids))
 	for _, id := range ids {
@@ -274,24 +315,33 @@ func (s *Service) AuthorsByName(name string) []Author {
 // Paper resolves a published paper record — corpus and streamed papers
 // alike. The returned record is shared and must not be mutated.
 func (s *Service) Paper(id PaperID) (*Paper, error) {
-	p, ok := s.view.Load().PaperMeta(id)
+	p, ok := s.pub.Current().PaperMeta(id)
 	if !ok {
 		return nil, fmt.Errorf("iuad: unknown paper id %d", id)
 	}
 	return p, nil
 }
 
-// Save writes a service snapshot (serving header + full pipeline
-// state) to w. A service restored from it with Open answers every
-// query and ingest bit-identically.
+// Save writes a legacy single-file service snapshot (serving header +
+// full pipeline state) to w. A service restored from it with Open
+// answers every query and ingest bit-identically. Save refuses a
+// partially-recovered service (its dead vertices have no legacy
+// representation); use SaveFile, whose composite format carries them.
 func (s *Service) Save(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return core.SaveService(w, s.pl, s.view.Load().Epoch())
+	epoch := s.pub.CapturedEpoch()
+	s.pub.Sync(epoch)
+	return core.SaveService(w, s.pl, epoch)
 }
 
-// SaveFile writes a service snapshot to path atomically (temp file +
-// rename).
+// SaveFile writes a service snapshot to path crash-safely: every file
+// is written to a temp name in the target directory, fsynced, then
+// renamed into place (and the directory fsynced), so a crash at any
+// point leaves either the old snapshot or the new one — never a torn
+// file. Sharded services (and partially-recovered ones) save the
+// composite manifest-plus-segments format, with segments written in
+// parallel; single-shard services keep the legacy single-file format.
 func (s *Service) SaveFile(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -299,22 +349,17 @@ func (s *Service) SaveFile(path string) error {
 }
 
 func (s *Service) saveFileLocked(path string) error {
-	// The temp file lands next to the target (same filesystem), so the
-	// rename is atomic.
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".iuad-snap-*")
-	if err != nil {
-		return err
+	// Holding s.mu keeps new captures out; Sync waits for in-flight
+	// Apply/assemble work so the saved per-shard counters match the
+	// saved pipeline state exactly.
+	epoch := s.pub.CapturedEpoch()
+	s.pub.Sync(epoch)
+	if s.pub.Shards() > 1 || s.recovery != nil {
+		return core.SaveShardedService(path, s.pl, epoch, s.pub.ShardSeeds())
 	}
-	if err := core.SaveService(tmp, s.pl, s.view.Load().Epoch()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return core.WriteFileAtomic(path, func(w io.Writer) error {
+		return core.SaveService(w, s.pl, epoch)
+	})
 }
 
 // Close shuts the write API down. When the service was opened with
@@ -338,6 +383,20 @@ func (s *Service) Close() error {
 	s.closed = true
 	return nil
 }
+
+// Shards returns the point-in-time per-shard summaries (last-touch
+// epoch, publish count, owned authors and slots, pending ingest
+// depth), ascending by shard index. Lock-free.
+func (s *Service) Shards() []core.ShardInfo { return s.pub.ShardInfos() }
+
+// Contention returns the cumulative write-path contention and copy
+// accounting (mutex wait, delta entries copied, flattens) — the
+// numbers cmd/benchjson -shard compares across shard counts.
+func (s *Service) Contention() core.ContentionStats { return s.pub.Contention() }
+
+// Recovery reports what a partial snapshot load lost, or nil when the
+// service loaded completely (the common case).
+func (s *Service) Recovery() *core.RecoveryReport { return s.recovery }
 
 // Pipeline exposes the underlying fitted pipeline for offline analysis
 // (threshold sweeps, evaluation). It must not be mutated — and not
