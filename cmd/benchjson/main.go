@@ -14,6 +14,16 @@
 //	          [-stage2-baseline-ns N -stage2-baseline-allocs N]
 //	benchjson -accuracy 10000,40000,120000 [-accuracy-out BENCH_accuracy.json] [-accuracy-seed 1]
 //	benchjson -shard [-shard-counts 1,8] [-shard-papers 400] [-shard-writers 4] [-shard-out BENCH_shard.json]
+//	benchjson -load [-load-duration 5s] [-load-rate 150] [-load-overload-rate 400] [-load-out BENCH_load.json]
+//
+// -load switches the harness to the serving SLO workload: it fits a
+// synthetic service, serves it through the production HTTP handler
+// (internal/httpapi) on an in-process listener, and drives the
+// open-loop loadgen harness over it — a steady mixed read/ingest phase
+// followed by a deliberate pure-ingest overload phase against a small
+// admission bound. The run aborts (writing nothing) unless the SLOs
+// hold: zero 5xx and zero transport errors everywhere, and the
+// overload phase answered with 429 backpressure.
 //
 // -shard switches the harness to the serving-shard contention workload:
 // at each shard count it restores an identical fitted service from one
@@ -59,12 +69,17 @@ import (
 
 	"math/rand"
 
+	"net/http/httptest"
+
 	"iuad"
 	"iuad/internal/accuracy"
 	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/emfit"
 	"iuad/internal/experiments"
+	"iuad/internal/faultinject"
+	"iuad/internal/httpapi"
+	"iuad/internal/loadgen"
 )
 
 // Result is one (workers, time, memory) measurement. Time is the
@@ -202,6 +217,16 @@ func main() {
 		shardPapers    = flag.Int("shard-papers", 400, "papers streamed per -shard measurement")
 		shardWriters   = flag.Int("shard-writers", 4, "concurrent writer goroutines in the -shard contention pass")
 		shardOut       = flag.String("shard-out", "BENCH_shard.json", "output path of the -shard report")
+		loadOn         = flag.Bool("load", false, "run the serving load workload (in-process HTTP server + open-loop loadgen) and write -load-out")
+		loadOut        = flag.String("load-out", "BENCH_load.json", "output path of the -load report")
+		loadDur        = flag.Duration("load-duration", 5*time.Second, "steady-phase length of the -load workload")
+		loadRate       = flag.Float64("load-rate", 150, "steady-phase offered arrivals per second")
+		loadRead       = flag.Float64("load-read-ratio", 0.95, "steady-phase read fraction")
+		loadBatch      = flag.Int("load-batch", 4, "papers per ingest batch")
+		loadOvRate     = flag.Float64("load-overload-rate", 400, "offered rate of the pure-ingest overload phase (0 = skip)")
+		loadOvDur      = flag.Duration("load-overload-duration", 2*time.Second, "overload-phase length")
+		loadQueue      = flag.Int("load-queue", 64, "ingest admission bound (papers) of the measured service")
+		loadSeed       = flag.Int64("load-seed", 1, "workload seed")
 	)
 	flag.Parse()
 
@@ -211,6 +236,14 @@ func main() {
 	}
 	if *shardOn {
 		runShard(*scale, *shardCounts, *shardPapers, *shardWriters, *shardOut)
+		return
+	}
+	if *loadOn {
+		runLoad(loadParams{
+			out: *loadOut, duration: *loadDur, rate: *loadRate, readRatio: *loadRead,
+			batch: *loadBatch, overloadRate: *loadOvRate, overloadDur: *loadOvDur,
+			queue: *loadQueue, seed: *loadSeed,
+		})
 		return
 	}
 
@@ -684,6 +717,131 @@ func measureIngest(s *experiments.Suite, opts experiments.Options, papers int, s
 			batch, res.NsPerPaper, res.SpeedupVsSingle, res.AllocsPerPaper)
 	}
 	return rep
+}
+
+// loadParams collects the -load workload knobs.
+type loadParams struct {
+	out          string
+	duration     time.Duration
+	rate         float64
+	readRatio    float64
+	batch        int
+	overloadRate float64
+	overloadDur  time.Duration
+	queue        int
+	seed         int64
+}
+
+// runLoad measures the serving SLO workload: the production HTTP
+// handler (internal/httpapi) over a synthetic-fitted service, driven
+// in-process by the open-loop loadgen harness — one steady mixed
+// phase, then a deliberate pure-ingest overload phase against a small
+// admission bound. The committed document pins the serving SLOs:
+// zero 5xx everywhere, backpressure (429s) engaged under overload,
+// client p50/p99/p999 latencies, and the server's epoch-publish lag
+// and group-commit accounting.
+func runLoad(p loadParams) {
+	scfg := iuad.DefaultSyntheticConfig()
+	scfg.Seed = 7
+	scfg.Authors = 300
+	scfg.Communities = 8
+	corpus := iuad.GenerateSynthetic(scfg).Corpus
+	cfg := iuad.DefaultConfig()
+	cfg.SampleRate = 0.5
+	cfg.Embedding.Dim = 16
+	cfg.Embedding.Epochs = 2
+	t0 := time.Now()
+	svc, err := iuad.Open(corpus, iuad.WithConfig(cfg),
+		iuad.WithIngestConfig(iuad.IngestConfig{MaxQueued: p.queue}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	fmt.Printf("load workload: fitted %d synthetic papers in %v, ingest queue bound %d papers\n",
+		corpus.Len(), time.Since(t0).Round(time.Millisecond), p.queue)
+
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+	runner, err := loadgen.New(loadgen.Config{BaseURL: srv.URL, Seed: p.seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := runner.Run(context.Background(), []loadgen.Phase{{
+		Name: "steady", Duration: p.duration, Rate: p.rate,
+		ReadRatio: p.readRatio, BatchSize: p.batch,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if p.overloadRate > 0 {
+		// In-process commits finish in microseconds, so an offered-rate
+		// burst alone cannot fill the admission queue. Slow every epoch
+		// publish for the overload phase only: at 60ms per publish the
+		// burst admits more papers per stall window than the bound
+		// allows, so backpressure must engage — the contract this
+		// baseline pins.
+		disarm := faultinject.Arm(faultinject.PublishDelay, func() error {
+			time.Sleep(60 * time.Millisecond)
+			return nil
+		})
+		ovRep, err := runner.Run(context.Background(), []loadgen.Phase{{
+			Name: "overload", Duration: p.overloadDur, Rate: p.overloadRate,
+			ReadRatio: 0, BatchSize: p.batch, Expect429: true,
+		}})
+		disarm()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Phases = append(rep.Phases, ovRep.Phases...)
+		rep.Final = ovRep.Final
+	}
+	for _, ph := range rep.Phases {
+		fmt.Printf("phase %-8s %5.1fs: reads %d (p99 %v, 5xx %d)  ingest %d (p99 %v, 429 %d, 5xx %d)  epoch %d→%d\n",
+			ph.Name, ph.Seconds,
+			ph.Reads.Ops, time.Duration(ph.Reads.Latency.P99Ns).Round(time.Microsecond), ph.Reads.Status5xx,
+			ph.Ingest.Ops, time.Duration(ph.Ingest.Latency.P99Ns).Round(time.Microsecond),
+			ph.Ingest.Status429, ph.Ingest.Status5xx, ph.EpochStart, ph.EpochEnd)
+	}
+	if violations := loadgen.AssertSLOs(rep); len(violations) > 0 {
+		for _, v := range violations {
+			log.Printf("SLO VIOLATION: %v", v)
+		}
+		log.Fatal("load workload violated its SLOs; not writing a broken baseline")
+	}
+
+	doc := struct {
+		Benchmark    string          `json:"benchmark"`
+		CorpusPapers int             `json:"corpus_papers"`
+		QueueBound   int             `json:"queue_bound"`
+		GoMaxProcs   int             `json:"gomaxprocs"`
+		NumCPU       int             `json:"num_cpu"`
+		Load         *loadgen.Report `json:"load"`
+		GeneratedAt  time.Time       `json:"generated_at"`
+	}{
+		Benchmark:    "ServingLoadSLO",
+		CorpusPapers: corpus.Len(),
+		QueueBound:   p.queue,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Load:         rep,
+		GeneratedAt:  time.Now().UTC(),
+	}
+	// The in-process base URL is an ephemeral port — meaningless in a
+	// committed baseline and a source of spurious diffs.
+	rep.BaseURL = "in-process"
+	f, err := os.Create(p.out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SLOs hold (zero 5xx, backpressure engaged under overload); wrote %s\n", p.out)
 }
 
 // ShardMeasure is one ingest pass of the -shard workload: per-paper

@@ -2,13 +2,15 @@
 // JSON over HTTP — the serving shape of the paper's incremental claim
 // (§V-E): fit once, then answer author queries and ingest newly
 // published papers with no retraining, restart from a snapshot with no
-// EM re-run.
+// EM re-run. The handler itself lives in internal/httpapi so the
+// loadgen harness and cmd/benchjson can run it in-process.
 //
 // Endpoints:
 //
 //	GET  /healthz                      liveness (also reports the epoch)
 //	GET  /v1/stats                     published network sizes (incl. shard count)
 //	GET  /shards                       per-shard debug: epoch, slots, pending queue depth
+//	GET  /metrics                      ingest queue, contention, per-endpoint latency
 //	GET  /v1/authors?name=Wei+Wang     the homonym set of an exact name
 //	GET  /v1/authors/{id}              one author: name, papers, years, venues
 //	GET  /v1/authors/{id}/coauthors    the author's collaboration neighbors
@@ -20,20 +22,20 @@
 //
 //	{"title": "...", "venue": "VLDB", "year": 2024, "authors": ["Wei Wang", ...]}
 //
-// A JSON array of records is ingested as ONE batch (one shared
-// invalidation pass per neighborhood, one published epoch) and answers
-// with one assignment list per paper. The "epoch" field of write
-// responses is the current epoch at response time — at least the epoch
-// that published these assignments; epochs are cumulative, so that
-// view and every later one contains the write. On a partial batch
-// failure the response carries the assignments of the ingested prefix
-// ("ingested" = its length): ingest is not transactional, so clients
-// must retry only the remainder.
+// A JSON array of records is ingested as ONE atomic batch: it is
+// admitted whole by the bounded ingest queue, group-committed with any
+// concurrently arriving batches into a single epoch publish, and
+// either every paper lands or none does. Overload is a first-class
+// answer, not a hang: past the queue's high-water mark (-ingest-queue)
+// the server responds 429 with a Retry-After header and the stable
+// error envelope {"error":{"code":"overloaded",...}} — clients back
+// off and retry the whole batch.
 //
 // Lifecycle: the service loads -snapshot when the file exists
-// (skipping the fit entirely); on SIGINT/SIGTERM the server drains
-// in-flight requests and persists the current state back to -snapshot,
-// so the next start resumes exactly where this one stopped.
+// (skipping the fit entirely); on SIGINT/SIGTERM the server stops
+// admitting, drains in-flight requests and queued ingest batches, and
+// persists the fully-drained state back to -snapshot, so the next
+// start resumes exactly where this one stopped.
 //
 // Run a self-contained demo instance (synthetic corpus, no data files):
 //
@@ -42,38 +44,50 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
-	"math"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"iuad"
+	"iuad/internal/faultinject"
+	"iuad/internal/httpapi"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iuadserver: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		corpusPth = flag.String("corpus", "", "JSONL corpus to fit when no snapshot exists")
-		snapPath  = flag.String("snapshot", "", "service snapshot: loaded if present, written on shutdown")
-		workers   = flag.Int("workers", 0, "worker pool bound (0 = one per logical CPU)")
-		shards    = flag.Int("shards", 1, "serving-state shards keyed by name block (1-256)")
-		partial   = flag.Bool("allow-partial", false, "serve a composite snapshot even when segment files are missing (lost shards restart empty)")
-		synthetic = flag.Bool("synthetic", false, "fit a small synthetic corpus when no snapshot/corpus is given (demo/smoke)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		corpusPth  = flag.String("corpus", "", "JSONL corpus to fit when no snapshot exists")
+		snapPath   = flag.String("snapshot", "", "service snapshot: loaded if present, written on shutdown")
+		workers    = flag.Int("workers", 0, "worker pool bound (0 = one per logical CPU)")
+		shards     = flag.Int("shards", 1, "serving-state shards keyed by name block (1-256)")
+		partial    = flag.Bool("allow-partial", false, "serve a composite snapshot even when segment files are missing (lost shards restart empty)")
+		synthetic  = flag.Bool("synthetic", false, "fit a small synthetic corpus when no snapshot/corpus is given (demo/smoke)")
+		ingestQ    = flag.Int("ingest-queue", 0, "ingest admission bound in papers; past it POST /v1/papers answers 429 (0 = default 1024)")
+		readTO     = flag.Duration("read-timeout", 30*time.Second, "per-request read deadline (http.Server.ReadTimeout; 0 = unlimited)")
+		writeTO    = flag.Duration("write-timeout", 60*time.Second, "per-request write deadline (http.Server.WriteTimeout; covers slow ingests; 0 = unlimited)")
+		drainTO    = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown bound for in-flight HTTP requests")
+		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint carried by 429 overload responses")
+		chaosPub   = flag.Duration("chaos-publish-delay", 0, "FAULT INJECTION: stall every epoch publish this long (forces queue backpressure; load testing only)")
 	)
 	flag.Parse()
 
-	svc, err := openService(*corpusPth, *snapPath, *workers, *shards, *partial, *synthetic)
+	if *chaosPub > 0 {
+		d := *chaosPub
+		faultinject.Arm(faultinject.PublishDelay, func() error {
+			time.Sleep(d)
+			return nil
+		})
+		log.Printf("CHAOS: every epoch publish delayed %v", d)
+	}
+
+	svc, err := openService(*corpusPth, *snapPath, *workers, *shards, *partial, *synthetic, *ingestQ, *retryAfter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,8 +101,10 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(svc),
+		Handler:           httpapi.New(svc),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -101,14 +117,16 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
+	// Drain order (DESIGN.md §12): stop accepting HTTP work, then let
+	// Close stop ingest admission, flush the queued batches, and
+	// persist the fully-drained state. A request cancelled by the
+	// drain deadline withdraws its queued batch — nothing half-lands.
 	log.Print("shutting down: draining requests")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("drain: %v", err)
 	}
-	// Close persists to -snapshot (when configured) before the process
-	// exits; a restart resumes from this exact state.
 	if err := svc.Close(); err != nil {
 		log.Fatalf("snapshot on shutdown: %v", err)
 	}
@@ -119,8 +137,12 @@ func main() {
 
 // openService builds the Service from (in priority order) an existing
 // snapshot, a JSONL corpus, or the synthetic demo corpus.
-func openService(corpusPath, snapPath string, workers, shards int, partial, synthetic bool) (*iuad.Service, error) {
-	opts := []iuad.Option{iuad.WithWorkers(workers), iuad.WithShards(shards)}
+func openService(corpusPath, snapPath string, workers, shards int, partial, synthetic bool, ingestQ int, retryAfter time.Duration) (*iuad.Service, error) {
+	opts := []iuad.Option{
+		iuad.WithWorkers(workers),
+		iuad.WithShards(shards),
+		iuad.WithIngestConfig(iuad.IngestConfig{MaxQueued: ingestQ, RetryAfter: retryAfter}),
+	}
 	if partial {
 		opts = append(opts, iuad.WithPartialRecovery())
 	}
@@ -161,210 +183,4 @@ func openService(corpusPath, snapPath string, workers, shards int, partial, synt
 	}
 	opts = append(opts, iuad.WithConfig(cfg))
 	return iuad.Open(corpus, opts...)
-}
-
-// paperIn is the wire form of a bibliographic record.
-type paperIn struct {
-	Title   string   `json:"title"`
-	Venue   string   `json:"venue"`
-	Year    int      `json:"year"`
-	Authors []string `json:"authors"`
-}
-
-func (p paperIn) paper() iuad.Paper {
-	return iuad.Paper{Title: p.Title, Venue: p.Venue, Year: p.Year, Authors: p.Authors}
-}
-
-// assignmentOut is the wire form of one slot decision. Score is absent
-// when there was no candidate to score against (the engine reports
-// −Inf there, which JSON cannot carry).
-type assignmentOut struct {
-	Paper   int      `json:"paper"`
-	Index   int      `json:"index"`
-	Author  int      `json:"author"`
-	Created bool     `json:"created"`
-	Score   *float64 `json:"score,omitempty"`
-}
-
-func assignmentsOut(as []iuad.Assignment) []assignmentOut {
-	out := make([]assignmentOut, len(as))
-	for i, a := range as {
-		out[i] = assignmentOut{
-			Paper: int(a.Slot.Paper), Index: a.Slot.Index,
-			Author: a.Vertex, Created: a.Created,
-		}
-		if !math.IsInf(a.Score, 0) && !math.IsNaN(a.Score) {
-			score := a.Score
-			out[i].Score = &score
-		}
-	}
-	return out
-}
-
-func newHandler(svc *iuad.Service) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": svc.Epoch()})
-	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"epoch":      svc.Epoch(),
-			"shards":     svc.Shards(),
-			"contention": svc.Contention(),
-		})
-	})
-	mux.HandleFunc("/v1/resolve", func(w http.ResponseWriter, r *http.Request) {
-		paper, err1 := strconv.Atoi(r.URL.Query().Get("paper"))
-		index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
-		if err1 != nil || err2 != nil {
-			writeError(w, http.StatusBadRequest, errors.New("resolve needs integer ?paper= and ?index="))
-			return
-		}
-		a, err := svc.ResolveSlot(iuad.Slot{Paper: iuad.PaperID(paper), Index: index})
-		if err != nil {
-			writeError(w, statusOf(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, a)
-	})
-	mux.HandleFunc("/v1/authors", func(w http.ResponseWriter, r *http.Request) {
-		name := r.URL.Query().Get("name")
-		if name == "" {
-			writeError(w, http.StatusBadRequest, errors.New("listing needs ?name= (exact author name)"))
-			return
-		}
-		writeJSON(w, http.StatusOK, svc.AuthorsByName(name))
-	})
-	mux.HandleFunc("/v1/authors/", func(w http.ResponseWriter, r *http.Request) {
-		rest := strings.TrimPrefix(r.URL.Path, "/v1/authors/")
-		idStr, sub, _ := strings.Cut(rest, "/")
-		id, err := strconv.Atoi(idStr)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad author id %q", idStr))
-			return
-		}
-		switch sub {
-		case "":
-			a, err := svc.Author(id)
-			if err != nil {
-				writeError(w, statusOf(err), err)
-				return
-			}
-			writeJSON(w, http.StatusOK, a)
-		case "coauthors":
-			peers, err := svc.Coauthors(id)
-			if err != nil {
-				writeError(w, statusOf(err), err)
-				return
-			}
-			writeJSON(w, http.StatusOK, peers)
-		default:
-			http.NotFound(w, r)
-		}
-	})
-	mux.HandleFunc("/v1/papers/", func(w http.ResponseWriter, r *http.Request) {
-		idStr := strings.TrimPrefix(r.URL.Path, "/v1/papers/")
-		id, err := strconv.Atoi(idStr)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad paper id %q", idStr))
-			return
-		}
-		p, err := svc.Paper(iuad.PaperID(id))
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, p)
-	})
-	mux.HandleFunc("/v1/papers", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("POST a paper object or array"))
-			return
-		}
-		// Bound the body before decoding: one oversized request must not
-		// take the whole serving process down. 8 MiB fits thousands of
-		// bibliographic records per batch.
-		r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
-		dec := json.NewDecoder(r.Body)
-		var raw json.RawMessage
-		if err := dec.Decode(&raw); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		trimmed := strings.TrimLeft(string(raw), " \t\r\n")
-		if strings.HasPrefix(trimmed, "[") {
-			var batch []paperIn
-			if err := json.Unmarshal(raw, &batch); err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			papers := make([]iuad.Paper, len(batch))
-			for i := range batch {
-				papers[i] = batch[i].paper()
-			}
-			res, err := svc.AddPapers(r.Context(), papers)
-			out := make([][]assignmentOut, len(res))
-			for i := range res {
-				out[i] = assignmentsOut(res[i])
-			}
-			if err != nil {
-				// Ingest is not transactional: the prefix before the
-				// failing paper IS registered and published. Return its
-				// assignments with the error so the client retries only
-				// the remainder instead of double-ingesting the prefix.
-				writeJSON(w, statusOf(err), map[string]any{
-					"error":       err.Error(),
-					"ingested":    len(res),
-					"epoch":       svc.Epoch(),
-					"assignments": out,
-				})
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]any{"epoch": svc.Epoch(), "assignments": out})
-			return
-		}
-		var one paperIn
-		if err := json.Unmarshal(raw, &one); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		as, err := svc.AddPaper(r.Context(), one.paper())
-		if err != nil {
-			writeError(w, statusOf(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"epoch": svc.Epoch(), "assignments": assignmentsOut(as)})
-	})
-	return mux
-}
-
-// statusOf maps the service's typed errors onto HTTP statuses.
-func statusOf(err error) int {
-	switch {
-	case errors.Is(err, iuad.ErrUnknownAuthor), errors.Is(err, iuad.ErrUnknownSlot):
-		return http.StatusNotFound
-	case errors.Is(err, iuad.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusRequestTimeout
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,115 @@
+// Command loadgen drives an open-loop mixed read/ingest workload
+// against a running iuadserver and reports client-side latency
+// percentiles, status breakdowns, and the server's own /metrics
+// document (ingest queue depth, epoch-publish lag, 429 counts).
+//
+// The default run is one steady phase: -duration at -rate with
+// -read-ratio reads (Zipf-skewed name/author lookups) and the rest
+// ingest batches. -overload-rate adds a second deliberate-overload
+// phase; with -ci the run exits nonzero unless that phase tripped
+// backpressure (at least one 429) while the whole run produced zero
+// 5xx and zero transport errors — the committed SLO smoke.
+//
+//	loadgen -url http://127.0.0.1:8080 -duration 10s -rate 200 -ci \
+//	        -overload-rate 600 -overload-duration 3s -out BENCH_load.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"iuad/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		baseURL   = flag.String("url", "http://127.0.0.1:8080", "base URL of the serving process")
+		duration  = flag.Duration("duration", 10*time.Second, "steady-phase length")
+		rate      = flag.Float64("rate", 100, "steady-phase offered arrivals per second")
+		readRatio = flag.Float64("read-ratio", 0.95, "fraction of arrivals that are reads")
+		batch     = flag.Int("batch", 4, "papers per ingest batch")
+		ovRate    = flag.Float64("overload-rate", 0, "offered rate of an extra pure-ingest overload phase (0 = skip)")
+		ovFor     = flag.Duration("overload-duration", 3*time.Second, "overload-phase length")
+		seed      = flag.Int64("seed", 1, "workload seed (same seed + same server state = same offered load)")
+		zipfS     = flag.Float64("zipf", 1.3, "Zipf skew exponent of the read name distribution (> 1)")
+		names     = flag.Int("names", 96, "author-name universe size bootstrapped from the service")
+		ci        = flag.Bool("ci", false, "assert SLOs (zero 5xx / transport errors; overload phase must see 429s) and exit nonzero on violation")
+		out       = flag.String("out", "", "write the JSON report here ('' = stdout)")
+	)
+	flag.Parse()
+
+	r, err := loadgen.New(loadgen.Config{
+		BaseURL:    *baseURL,
+		Seed:       *seed,
+		ZipfS:      *zipfS,
+		NameSample: *names,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	phases := []loadgen.Phase{{
+		Name:      "steady",
+		Duration:  *duration,
+		Rate:      *rate,
+		ReadRatio: *readRatio,
+		BatchSize: *batch,
+	}}
+	if *ovRate > 0 {
+		phases = append(phases, loadgen.Phase{
+			Name:      "overload",
+			Duration:  *ovFor,
+			Rate:      *ovRate,
+			ReadRatio: 0, // pure ingest: the phase exists to hit the queue bound
+			BatchSize: *batch,
+			Expect429: *ci,
+		})
+	}
+	rep, err := r.Run(context.Background(), phases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ph := range rep.Phases {
+		log.Printf("phase %-8s %5.1fs: reads %d (p99 %s, 429 %d, 5xx %d)  ingest %d (p99 %s, 429 %d, 5xx %d)  epoch %d→%d",
+			ph.Name, ph.Seconds,
+			ph.Reads.Ops, time.Duration(ph.Reads.Latency.P99Ns), ph.Reads.Status429, ph.Reads.Status5xx,
+			ph.Ingest.Ops, time.Duration(ph.Ingest.Latency.P99Ns), ph.Ingest.Status429, ph.Ingest.Status5xx,
+			ph.EpochStart, ph.EpochEnd)
+	}
+	log.Printf("server: %d commits, %d grouped batches, publish-lag p99 %s, queue depth %d",
+		rep.Final.Ingest.Commits, rep.Final.Ingest.GroupedBatches,
+		time.Duration(rep.Final.Ingest.PublishLag.P99Ns), rep.Final.Ingest.Depth)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		log.Printf("wrote %s", *out)
+	}
+
+	if *ci {
+		if violations := loadgen.AssertSLOs(rep); len(violations) > 0 {
+			for _, v := range violations {
+				log.Printf("SLO VIOLATION: %v", v)
+			}
+			os.Exit(1)
+		}
+		log.Print("SLOs hold: zero 5xx, zero transport errors, backpressure engaged where expected")
+	}
+}

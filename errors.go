@@ -1,6 +1,30 @@
 package iuad
 
-import "errors"
+import (
+	"errors"
+
+	"iuad/internal/ingestq"
+)
+
+// OverloadedError is the backpressure rejection from the bounded
+// ingest queue (see WithIngestQueue): the batch was not admitted and
+// nothing was ingested. Carries the queue depth, the admission limit,
+// and the Retry-After hint that cmd/iuadserver surfaces as HTTP 429
+// with a Retry-After header. Match with errors.As.
+type OverloadedError = ingestq.OverloadedError
+
+// CanceledError reports that AddPapers' context was cancelled while
+// the batch was still queued: it was withdrawn, nothing was ingested,
+// and no epoch carries any part of it. Unwrap yields the ctx error.
+// Match with errors.As.
+type CanceledError = ingestq.CanceledError
+
+// IngestStats is the ingest queue's accounting, served by
+// Service.Ingest and the HTTP /metrics endpoint.
+type IngestStats = ingestq.Stats
+
+// IngestConfig parameterizes the ingest queue (WithIngestConfig).
+type IngestConfig = ingestq.Config
 
 // Typed errors of the serving API. They are sentinel values so callers
 // can branch with errors.Is; functions that wrap them add call-site
@@ -21,6 +45,10 @@ var (
 	// ErrUnknownSlot is returned by ResolveSlot for a (paper, index)
 	// pair outside the published network.
 	ErrUnknownSlot = errors.New("iuad: unknown author slot")
+
+	// ErrUnknownPaper is returned by Service.Paper for an ID outside
+	// the published network.
+	ErrUnknownPaper = errors.New("iuad: unknown paper id")
 
 	// ErrClosed is returned by the write API after Close.
 	ErrClosed = errors.New("iuad: service is closed")

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"iuad/internal/bib"
+	"iuad/internal/faultinject"
 	"iuad/internal/graph"
 	"iuad/internal/intern"
 	"iuad/internal/snapshot"
@@ -76,6 +77,12 @@ type RecoveryReport struct {
 // directory, fsync, rename, then fsync the directory so neither a
 // torn write nor a lost rename can damage a previously committed file.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	// Chaos point: an armed SnapshotWrite hook aborts the write here,
+	// exactly like a failing disk — before the temp file exists, so
+	// the committed snapshot generation is never touched.
+	if err := faultinject.Fire(faultinject.SnapshotWrite); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".iuad-snap-*")
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"iuad/internal/bib"
+	"iuad/internal/faultinject"
 )
 
 // This file implements the published read-model behind the serving API
@@ -588,6 +589,11 @@ func (vp *ViewPublisher) applyShard(t *shardTouch) *shardView {
 	for ps.applied+1 != t.seq {
 		ps.cond.Wait()
 	}
+	// Chaos point: a stalled hook here is the "slow shard" — it holds
+	// this shard's apply lock (queueing same-shard publishes behind
+	// it) while readers, who never take shard locks, keep serving the
+	// last published composite.
+	faultinject.Fire(faultinject.ShardApplyStall)
 	prev := ps.cur
 	next := &shardView{
 		epoch:       t.epoch,
@@ -645,6 +651,10 @@ func (vp *ViewPublisher) applyShard(t *shardTouch) *shardView {
 // store inside the critical section so a later epoch can never be
 // overwritten by an earlier one.
 func (vp *ViewPublisher) assemble(c *PublishCapture, built []*shardView) *View {
+	// Chaos point: delays every epoch publish before any assembly
+	// lock is taken — the injected "publish is slow" fault the ingest
+	// queue must absorb by shedding load, not by growing unboundedly.
+	faultinject.Fire(faultinject.PublishDelay)
 	start := time.Now()
 	vp.amu.Lock()
 	vp.assembleWaitNs.Add(int64(time.Since(start)))

@@ -1,0 +1,118 @@
+package hdrhist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketMappingMonotone pins the log-linear layout: indexes are
+// monotone in the value, contiguous, and every bucket's upper bound
+// maps back into the same bucket (the round-trip that makes reported
+// quantiles well-defined).
+func TestBucketMappingMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 65, 127, 128,
+		1000, 4095, 4096, 1 << 20, 1<<20 + 1, 1 << 30, 1 << 40, 1 << 50,
+		1<<62 - 1, 1 << 62, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		if idx >= numBuckets {
+			t.Fatalf("index %d out of range for %d", idx, v)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d below member value %d", idx, up, v)
+		}
+		if got := bucketIndex(up); got != idx {
+			t.Fatalf("upper bound %d of bucket %d maps to bucket %d", up, idx, got)
+		}
+		prev = idx
+	}
+	// Exhaustive contiguity over the first three octaves.
+	last := bucketIndex(0)
+	for v := int64(1); v < 256; v++ {
+		idx := bucketIndex(v)
+		if idx != last && idx != last+1 {
+			t.Fatalf("bucket jump at %d: %d -> %d", v, last, idx)
+		}
+		last = idx
+	}
+}
+
+// TestQuantileAccuracy checks the ≤3.2% relative-error contract
+// against exact order statistics of a lognormal-ish sample.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := New()
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(math.Exp(rng.NormFloat64()*1.5 + 12)) // ~163µs median in ns
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count %d, want %d", s.Count, len(vals))
+	}
+	check := func(name string, got int64, q float64) {
+		exact := vals[int(q*float64(len(vals)))]
+		rel := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if rel > 0.04 { // 3.2% bucket width + rank-vs-index slack
+			t.Errorf("%s: got %d, exact %d (rel err %.3f)", name, got, exact, rel)
+		}
+	}
+	check("p50", s.P50Ns, 0.50)
+	check("p90", s.P90Ns, 0.90)
+	check("p99", s.P99Ns, 0.99)
+	check("p999", s.P999Ns, 0.999)
+	if s.MaxNs != vals[len(vals)-1] {
+		t.Fatalf("max %d, want %d", s.MaxNs, vals[len(vals)-1])
+	}
+	if s.P50Ns > s.P90Ns || s.P90Ns > s.P99Ns || s.P99Ns > s.P999Ns || s.P999Ns > s.MaxNs {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+// TestRecordAllocFree pins the hot-path contract: Record never
+// allocates.
+func TestRecordAllocFree(t *testing.T) {
+	h := New()
+	if allocs := testing.AllocsPerRun(1000, func() { h.Record(12345) }); allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call", allocs)
+	}
+}
+
+// TestConcurrentRecord is the -race exercise: total counts survive
+// concurrent recording exactly.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1 << 30)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*per {
+		t.Fatalf("count %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestEmptySummary: an unrecorded histogram reports zeros, not junk.
+func TestEmptySummary(t *testing.T) {
+	if s := New().Snapshot(); s != (Summary{}) {
+		t.Fatalf("empty summary %+v", s)
+	}
+}

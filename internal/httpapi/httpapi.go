@@ -1,0 +1,398 @@
+// Package httpapi is the HTTP face of an iuad.Service: the JSON
+// query/ingest endpoints cmd/iuadserver serves, plus the /metrics
+// introspection endpoint. It exists as a package (rather than code
+// inside the command) so cmd/benchjson and the loadgen harness can run
+// the exact production handler in-process.
+//
+// Error contract: every error response is the stable envelope
+//
+//	{"error": {"code": "<stable-code>", "message": "<human text>"}}
+//
+// where code is one of: bad_request, not_found, method_not_allowed,
+// payload_too_large, canceled, deadline_exceeded, overloaded,
+// shutting_down, internal. Overload responses (HTTP 429) additionally
+// carry a Retry-After header with the ingest queue's backoff hint.
+// Clients branch on the code, never on the message.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"iuad"
+	"iuad/internal/core"
+	"iuad/internal/hdrhist"
+)
+
+// endpointNames fixes the latency-histogram universe: one histogram
+// per logical endpoint, allocated at construction so the hot path
+// only ever reads the map.
+var endpointNames = []string{
+	"healthz", "stats", "shards", "metrics",
+	"resolve", "authors_by_name", "author", "coauthors", "paper",
+	"ingest",
+}
+
+// Server is the HTTP handler plus its request accounting. Construct
+// with New; it is an http.Handler.
+type Server struct {
+	svc *iuad.Service
+	mux *http.ServeMux
+
+	requests  atomic.Int64
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+	status429 atomic.Int64
+	latency   map[string]*hdrhist.Histogram
+}
+
+// HTTPStats is the request-side accounting served by /metrics.
+type HTTPStats struct {
+	Requests  int64 `json:"requests"`
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	// Status429 counts backpressure rejections; also included in 4xx.
+	Status429 int64 `json:"status_429"`
+	// Endpoints maps logical endpoint → request latency summary.
+	Endpoints map[string]hdrhist.Summary `json:"endpoints"`
+}
+
+// Metrics is the /metrics document: everything the loadgen harness
+// and dashboards need in one lock-free read.
+type Metrics struct {
+	Epoch      uint64               `json:"epoch"`
+	Ingest     iuad.IngestStats     `json:"ingest"`
+	Contention core.ContentionStats `json:"contention"`
+	HTTP       HTTPStats            `json:"http"`
+}
+
+// New builds the production handler over svc.
+func New(svc *iuad.Service) *Server {
+	s := &Server{
+		svc:     svc,
+		mux:     http.NewServeMux(),
+		latency: make(map[string]*hdrhist.Histogram, len(endpointNames)),
+	}
+	for _, name := range endpointNames {
+		s.latency[name] = hdrhist.New()
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics assembles the point-in-time metrics document (the same one
+// /metrics serves). Lock-free: counters are atomics, histograms are
+// concurrent, service accessors read published state.
+func (s *Server) Metrics() Metrics {
+	eps := make(map[string]hdrhist.Summary, len(s.latency))
+	for name, h := range s.latency {
+		if h.Count() > 0 {
+			eps[name] = h.Snapshot()
+		}
+	}
+	return Metrics{
+		Epoch:      s.svc.Epoch(),
+		Ingest:     s.svc.Ingest(),
+		Contention: s.svc.Contention(),
+		HTTP: HTTPStats{
+			Requests:  s.requests.Load(),
+			Status2xx: s.status2xx.Load(),
+			Status4xx: s.status4xx.Load(),
+			Status5xx: s.status5xx.Load(),
+			Status429: s.status429.Load(),
+			Endpoints: eps,
+		},
+	}
+}
+
+// statusRecorder captures the response status for the accounting
+// middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers fn under pattern with latency + status accounting
+// attributed to the logical endpoint name.
+func (s *Server) handle(pattern, name string, fn http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.measured(name, w, r, fn)
+	})
+}
+
+func (s *Server) routes() {
+	svc := s.svc
+	s.handle("/healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": svc.Epoch()})
+	})
+	s.handle("/v1/stats", "stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	s.handle("/shards", "shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":      svc.Epoch(),
+			"shards":     svc.Shards(),
+			"contention": svc.Contention(),
+		})
+	})
+	s.handle("/metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	s.handle("/v1/resolve", "resolve", func(w http.ResponseWriter, r *http.Request) {
+		paper, err1 := strconv.Atoi(r.URL.Query().Get("paper"))
+		index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
+		if err1 != nil || err2 != nil {
+			writeErrorCode(w, http.StatusBadRequest, "bad_request", "resolve needs integer ?paper= and ?index=")
+			return
+		}
+		a, err := svc.ResolveSlot(iuad.Slot{Paper: iuad.PaperID(paper), Index: index})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, a)
+	})
+	s.handle("/v1/authors", "authors_by_name", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			writeErrorCode(w, http.StatusBadRequest, "bad_request", "listing needs ?name= (exact author name)")
+			return
+		}
+		writeJSON(w, http.StatusOK, svc.AuthorsByName(name))
+	})
+	s.mux.HandleFunc("/v1/authors/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/authors/")
+		idStr, sub, _ := strings.Cut(rest, "/")
+		name := "author"
+		if sub == "coauthors" {
+			name = "coauthors"
+		}
+		s.measured(name, w, r, func(w http.ResponseWriter, r *http.Request) {
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				writeErrorCode(w, http.StatusBadRequest, "bad_request", "bad author id "+strconv.Quote(idStr))
+				return
+			}
+			switch sub {
+			case "":
+				a, err := svc.Author(id)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, a)
+			case "coauthors":
+				peers, err := svc.Coauthors(id)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, peers)
+			default:
+				writeErrorCode(w, http.StatusNotFound, "not_found", "unknown author subresource "+strconv.Quote(sub))
+			}
+		})
+	})
+	s.mux.HandleFunc("/v1/papers/", func(w http.ResponseWriter, r *http.Request) {
+		s.measured("paper", w, r, func(w http.ResponseWriter, r *http.Request) {
+			idStr := strings.TrimPrefix(r.URL.Path, "/v1/papers/")
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				writeErrorCode(w, http.StatusBadRequest, "bad_request", "bad paper id "+strconv.Quote(idStr))
+				return
+			}
+			p, err := svc.Paper(iuad.PaperID(id))
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, p)
+		})
+	})
+	s.handle("/v1/papers", "ingest", s.handleIngest)
+}
+
+// measured wraps one dynamic-path request with the same accounting
+// handle applies to fixed patterns.
+func (s *Server) measured(name string, w http.ResponseWriter, r *http.Request, fn http.HandlerFunc) {
+	t0 := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	fn(rec, r)
+	s.latency[name].RecordSince(t0)
+	s.requests.Add(1)
+	switch {
+	case rec.status == http.StatusTooManyRequests:
+		s.status429.Add(1)
+		s.status4xx.Add(1)
+	case rec.status >= 500:
+		s.status5xx.Add(1)
+	case rec.status >= 400:
+		s.status4xx.Add(1)
+	default:
+		s.status2xx.Add(1)
+	}
+}
+
+// paperIn is the wire form of a bibliographic record.
+type paperIn struct {
+	Title   string   `json:"title"`
+	Venue   string   `json:"venue"`
+	Year    int      `json:"year"`
+	Authors []string `json:"authors"`
+}
+
+func (p paperIn) paper() iuad.Paper {
+	return iuad.Paper{Title: p.Title, Venue: p.Venue, Year: p.Year, Authors: p.Authors}
+}
+
+// assignmentOut is the wire form of one slot decision. Score is absent
+// when there was no candidate to score against (the engine reports
+// −Inf there, which JSON cannot carry).
+type assignmentOut struct {
+	Paper   int      `json:"paper"`
+	Index   int      `json:"index"`
+	Author  int      `json:"author"`
+	Created bool     `json:"created"`
+	Score   *float64 `json:"score,omitempty"`
+}
+
+func assignmentsOut(as []iuad.Assignment) []assignmentOut {
+	out := make([]assignmentOut, len(as))
+	for i, a := range as {
+		out[i] = assignmentOut{
+			Paper: int(a.Slot.Paper), Index: a.Slot.Index,
+			Author: a.Vertex, Created: a.Created,
+		}
+		if !math.IsInf(a.Score, 0) && !math.IsNaN(a.Score) {
+			score := a.Score
+			out[i].Score = &score
+		}
+	}
+	return out
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST a paper object or array")
+		return
+	}
+	// Bound the body before decoding: one oversized request must not
+	// take the whole serving process down. 8 MiB fits thousands of
+	// bibliographic records per batch.
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	dec := json.NewDecoder(r.Body)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		writeError(w, err)
+		return
+	}
+	svc := s.svc
+	trimmed := strings.TrimLeft(string(raw), " \t\r\n")
+	if strings.HasPrefix(trimmed, "[") {
+		var batch []paperIn
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			writeError(w, err)
+			return
+		}
+		papers := make([]iuad.Paper, len(batch))
+		for i := range batch {
+			papers[i] = batch[i].paper()
+		}
+		res, err := svc.AddPapers(r.Context(), papers)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := make([][]assignmentOut, len(res))
+		for i := range res {
+			out[i] = assignmentsOut(res[i])
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": svc.Epoch(), "assignments": out})
+		return
+	}
+	var one paperIn
+	if err := json.Unmarshal(raw, &one); err != nil {
+		writeError(w, err)
+		return
+	}
+	as, err := svc.AddPaper(r.Context(), one.paper())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": svc.Epoch(), "assignments": assignmentsOut(as)})
+}
+
+// statusCodeOf maps an error onto its HTTP status and stable wire
+// code. The order matters: the most specific typed errors first, the
+// context sentinels (which typed wrappers may carry) after them.
+func statusCodeOf(err error) (int, string) {
+	var ov *iuad.OverloadedError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, iuad.ErrClosed):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, iuad.ErrUnknownAuthor),
+		errors.Is(err, iuad.ErrUnknownSlot),
+		errors.Is(err, iuad.ErrUnknownPaper):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "canceled"
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge, "payload_too_large"
+	default:
+		return http.StatusBadRequest, "bad_request"
+	}
+}
+
+// writeError maps err onto the stable error envelope. 429s carry the
+// ingest queue's backoff hint as a Retry-After header (whole seconds,
+// rounded up — the header has no finer granularity).
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusCodeOf(err)
+	if code == "overloaded" {
+		var ov *iuad.OverloadedError
+		if errors.As(err, &ov) {
+			secs := int64((ov.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+	}
+	writeErrorCode(w, status, code, err.Error())
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // a failed write means the client went away
+}

@@ -1,0 +1,251 @@
+package httpapi_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"iuad"
+	"iuad/internal/faultinject"
+	"iuad/internal/httpapi"
+)
+
+func testService(t *testing.T, opts ...iuad.Option) *iuad.Service {
+	t.Helper()
+	scfg := iuad.DefaultSyntheticConfig()
+	scfg.Seed = 11
+	scfg.Authors = 120
+	scfg.Communities = 4
+	cfg := iuad.DefaultConfig()
+	cfg.Workers = 2
+	cfg.SampleRate = 0.5
+	cfg.Embedding.Dim = 16
+	cfg.Embedding.Epochs = 2
+	svc, err := iuad.Open(iuad.GenerateSynthetic(scfg).Corpus, append(opts, iuad.WithConfig(cfg))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// errorEnvelope decodes the stable error body every failure path must
+// produce.
+func errorEnvelope(t *testing.T, resp *http.Response) (code, message string) {
+	t.Helper()
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not the stable envelope: %v", err)
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("error envelope missing fields: %+v", body)
+	}
+	return body.Error.Code, body.Error.Message
+}
+
+// TestErrorEnvelopeCodes drives every error path and pins its HTTP
+// status and stable wire code.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(testService(t)))
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/papers", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := []struct {
+		name   string
+		resp   *http.Response
+		status int
+		code   string
+	}{
+		{"missing name param", get("/v1/authors"), 400, "bad_request"},
+		{"bad author id", get("/v1/authors/xyz"), 400, "bad_request"},
+		{"unknown author", get("/v1/authors/999999"), 404, "not_found"},
+		{"unknown coauthors", get("/v1/authors/999999/coauthors"), 404, "not_found"},
+		{"unknown subresource", get("/v1/authors/0/nonsense"), 404, "not_found"},
+		{"bad paper id", get("/v1/papers/xyz"), 400, "bad_request"},
+		{"unknown paper", get("/v1/papers/999999"), 404, "not_found"},
+		{"bad resolve params", get("/v1/resolve?paper=a&index=b"), 400, "bad_request"},
+		{"unknown slot", get("/v1/resolve?paper=999999&index=0"), 404, "not_found"},
+		{"GET on ingest", get("/v1/papers"), 405, "method_not_allowed"},
+		{"malformed JSON", post("{nope"), 400, "bad_request"},
+		{"invalid paper", post(`{"title":"x","authors":[]}`), 400, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer tc.resp.Body.Close()
+			if tc.resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", tc.resp.StatusCode, tc.status)
+			}
+			if code, _ := errorEnvelope(t, tc.resp); code != tc.code {
+				t.Fatalf("code %q, want %q", code, tc.code)
+			}
+		})
+	}
+}
+
+// TestIngestRoundTrip posts a single paper and a batch, reads the
+// created author back, and checks /metrics accounted for all of it.
+func TestIngestRoundTrip(t *testing.T) {
+	api := httpapi.New(testService(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/papers", "application/json",
+		strings.NewReader(`{"title":"HTTP Probe","venue":"KDD","year":2024,"authors":["Http Probe Author"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("single ingest status %d", resp.StatusCode)
+	}
+	var single struct {
+		Epoch       uint64 `json:"epoch"`
+		Assignments []struct {
+			Author  int  `json:"author"`
+			Created bool `json:"created"`
+		} `json:"assignments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Epoch == 0 || len(single.Assignments) != 1 || !single.Assignments[0].Created {
+		t.Fatalf("single ingest response %+v", single)
+	}
+
+	author, err := http.Get(fmt.Sprintf("%s/v1/authors/%d", srv.URL, single.Assignments[0].Author))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer author.Body.Close()
+	var a struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(author.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "Http Probe Author" {
+		t.Fatalf("created author reads back as %q", a.Name)
+	}
+
+	batch, err := http.Post(srv.URL+"/v1/papers", "application/json",
+		strings.NewReader(`[{"title":"B1","venue":"V","year":2024,"authors":["Http Probe Author"]},
+		                    {"title":"B2","venue":"V","year":2024,"authors":["Another Http Author"]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Body.Close()
+	var br struct {
+		Assignments [][]json.RawMessage `json:"assignments"`
+	}
+	if err := json.NewDecoder(batch.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Assignments) != 2 {
+		t.Fatalf("batch ingest returned %d papers", len(br.Assignments))
+	}
+
+	m := api.Metrics()
+	if m.Ingest.AdmittedPapers != 3 || m.HTTP.Requests < 3 || m.HTTP.Status2xx < 3 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if _, ok := m.HTTP.Endpoints["ingest"]; !ok {
+		t.Fatalf("no ingest latency recorded: %+v", m.HTTP.Endpoints)
+	}
+
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var wire httpapi.Metrics
+	if err := json.NewDecoder(mr.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Ingest.AdmittedPapers != 3 || wire.Epoch == 0 {
+		t.Fatalf("/metrics document %+v", wire)
+	}
+}
+
+// TestOverloadAnswers429 pins the backpressure wire contract: with the
+// queue at its bound behind a stalled publish, ingest answers 429 with
+// the "overloaded" code and a Retry-After header — and never a 5xx.
+func TestOverloadAnswers429(t *testing.T) {
+	svc := testService(t, iuad.WithIngestConfig(iuad.IngestConfig{
+		MaxQueued:  2,
+		RetryAfter: 3 * time.Second,
+	}))
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	disarm := faultinject.Arm(faultinject.PublishDelay, func() error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})
+	defer disarm()
+	defer release()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(srv.URL+"/v1/papers", "application/json",
+			strings.NewReader(`[{"title":"L1","authors":["Overload A"]},{"title":"L2","authors":["Overload B"]}]`))
+		if err != nil {
+			t.Errorf("leader: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("leader status %d", resp.StatusCode)
+		}
+	}()
+	<-entered // leader committed, stalled in publish; depth == bound
+
+	resp, err := http.Post(srv.URL+"/v1/papers", "application/json",
+		strings.NewReader(`{"title":"S","authors":["Shed Author"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+	if code, _ := errorEnvelope(t, resp); code != "overloaded" {
+		t.Fatalf("overload code %q", code)
+	}
+
+	disarm()
+	release()
+	wg.Wait()
+}

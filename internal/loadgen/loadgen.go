@@ -1,0 +1,440 @@
+// Package loadgen is the open-loop workload harness for the iuad HTTP
+// serving surface (internal/httpapi): it offers a mixed read/ingest
+// load at a fixed arrival rate — arrivals fire on a clock, never
+// waiting for responses, so a slow server faces a growing backlog
+// instead of a politely throttled client — and reports client-side
+// latency percentiles per operation class, HTTP status breakdowns, and
+// the server's own /metrics document (queue depth, epoch-publish lag,
+// 429 counts) alongside.
+//
+// Reads follow a Zipf distribution over an author-name universe
+// bootstrapped from the live service, mimicking the scale-free query
+// skew of a bibliography service: a few hub names absorb most lookups.
+// Ingest posts small batches whose author names come from the same
+// skewed universe, plus a trickle of brand-new names.
+//
+// The harness never closes the loop on overload: 429 responses are
+// counted, not retried, which is exactly what makes the committed SLO
+// pins meaningful — offered rate is an input, not an emergent number.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iuad/internal/hdrhist"
+	"iuad/internal/httpapi"
+)
+
+// Phase is one stretch of offered load.
+type Phase struct {
+	Name string `json:"name"`
+	// Duration of the phase; Rate the offered arrivals per second.
+	Duration time.Duration `json:"-"`
+	Rate     float64       `json:"rate"`
+	// ReadRatio is the fraction of arrivals that are reads (the rest
+	// are ingest batches of BatchSize papers).
+	ReadRatio float64 `json:"read_ratio"`
+	BatchSize int     `json:"batch_size"`
+	// Expect429 marks a deliberate-overload phase: CI asserts the
+	// server answered at least one 429 here (backpressure engaged)
+	// and, as everywhere, zero 5xx.
+	Expect429 bool `json:"expect_429"`
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// BaseURL of the serving process, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Seed drives every random choice; same seed + same server state =
+	// same offered workload.
+	Seed int64
+	// ZipfS is the read-skew exponent (> 1; default 1.3 — a steep,
+	// hub-heavy skew).
+	ZipfS float64
+	// NameSample bounds the bootstrapped name universe (default 96).
+	NameSample int
+	// MaxInFlight caps concurrently outstanding requests; arrivals
+	// past the cap are dropped and counted (the harness itself must
+	// stay bounded under the backlog it creates). Default 256.
+	MaxInFlight int
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+// OpStats is the client-side accounting of one operation class.
+type OpStats struct {
+	Ops       int64 `json:"ops"`
+	Status2xx int64 `json:"status_2xx"`
+	Status429 int64 `json:"status_429"`
+	Status4xx int64 `json:"status_4xx"` // non-429 client errors
+	Status5xx int64 `json:"status_5xx"`
+	NetErrors int64 `json:"net_errors"`
+	// Dropped counts arrivals shed by the harness's own in-flight cap
+	// — offered load the server never saw.
+	Dropped int64           `json:"dropped"`
+	Latency hdrhist.Summary `json:"latency"`
+}
+
+// PhaseReport is one phase's outcome: client-side stats plus the
+// server-side epoch progress observed across the phase.
+type PhaseReport struct {
+	Phase
+	Seconds    float64 `json:"seconds"`
+	Reads      OpStats `json:"reads"`
+	Ingest     OpStats `json:"ingest"`
+	EpochStart uint64  `json:"epoch_start"`
+	EpochEnd   uint64  `json:"epoch_end"`
+	// QueueDepthEnd and Rejected429End snapshot the server's ingest
+	// queue as the phase closed (cumulative counter for the latter).
+	QueueDepthEnd  int64 `json:"queue_depth_end"`
+	Rejected429End int64 `json:"rejected_429_end"`
+}
+
+// Report is the full run document.
+type Report struct {
+	BaseURL string        `json:"base_url"`
+	Seed    int64         `json:"seed"`
+	ZipfS   float64       `json:"zipf_s"`
+	Names   int           `json:"names"`
+	Phases  []PhaseReport `json:"phases"`
+	// Final is the server's closing /metrics document: ingest queue
+	// accounting (incl. publish-lag percentiles), contention, and the
+	// server-side per-endpoint latency view of this same run.
+	Final httpapi.Metrics `json:"final_server_metrics"`
+}
+
+// opKind discriminates the generated operations.
+type opKind int
+
+const (
+	opReadName opKind = iota
+	opReadAuthor
+	opReadResolve
+	opReadStats
+	opIngest
+)
+
+// op is one generated arrival: everything random is decided on the
+// generator goroutine, so workers only do HTTP.
+type op struct {
+	kind opKind
+	path string // for reads
+	body []byte // for ingest
+}
+
+// Runner drives phases against one server. Construct with New (which
+// bootstraps the name universe from the live service).
+type Runner struct {
+	cfg    Config
+	client *http.Client
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	names  []string
+	papers int // published paper count at bootstrap (resolve targets)
+	nextID atomic.Int64
+}
+
+func New(cfg Config) (*Runner, error) {
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.3
+	}
+	if cfg.NameSample <= 0 {
+		cfg.NameSample = 96
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	r := &Runner{cfg: cfg, client: cfg.Client, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if err := r.bootstrap(); err != nil {
+		return nil, err
+	}
+	r.zipf = rand.NewZipf(r.rng, cfg.ZipfS, 1, uint64(len(r.names)-1))
+	return r, nil
+}
+
+// bootstrap samples the live service's author universe: stats for the
+// sizes, then author records for their (skew-target) names.
+func (r *Runner) bootstrap() error {
+	var st struct {
+		Papers  int `json:"papers"`
+		Authors int `json:"authors"`
+	}
+	if err := r.getJSON("/v1/stats", &st); err != nil {
+		return fmt.Errorf("loadgen bootstrap: %w", err)
+	}
+	if st.Authors == 0 {
+		return errors.New("loadgen bootstrap: service publishes zero authors")
+	}
+	r.papers = st.Papers
+	seen := make(map[string]bool, r.cfg.NameSample)
+	for len(r.names) < r.cfg.NameSample && len(seen) < st.Authors {
+		var a struct {
+			Name string `json:"name"`
+		}
+		id := r.rng.Intn(st.Authors)
+		if err := r.getJSON(fmt.Sprintf("/v1/authors/%d", id), &a); err != nil {
+			return fmt.Errorf("loadgen bootstrap author %d: %w", id, err)
+		}
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			r.names = append(r.names, a.Name)
+		}
+	}
+	if len(r.names) < 2 {
+		return errors.New("loadgen bootstrap: name universe too small")
+	}
+	return nil
+}
+
+func (r *Runner) getJSON(path string, v any) error {
+	resp, err := r.client.Get(r.cfg.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// zipfName samples the skewed read target.
+func (r *Runner) zipfName() string { return r.names[r.zipf.Uint64()] }
+
+// genRead picks one read op; the mix leans on the two paths that
+// dominate real bibliography traffic (name lookup and author fetch).
+func (r *Runner) genRead() op {
+	switch x := r.rng.Float64(); {
+	case x < 0.45:
+		return op{kind: opReadName, path: "/v1/authors?name=" + url.QueryEscape(r.zipfName())}
+	case x < 0.80:
+		return op{kind: opReadAuthor, path: fmt.Sprintf("/v1/authors/%d", r.rng.Intn(maxInt(1, r.papers)))}
+	case x < 0.95:
+		return op{kind: opReadResolve, path: fmt.Sprintf("/v1/resolve?paper=%d&index=0", r.rng.Intn(maxInt(1, r.papers)))}
+	default:
+		return op{kind: opReadStats, path: "/v1/stats"}
+	}
+}
+
+// genIngest builds one POST body of n papers: Zipf-skewed existing
+// names (homonym pressure on the hubs) plus a trickle of new names.
+func (r *Runner) genIngest(n int) op {
+	type paperOut struct {
+		Title   string   `json:"title"`
+		Venue   string   `json:"venue"`
+		Year    int      `json:"year"`
+		Authors []string `json:"authors"`
+	}
+	batch := make([]paperOut, n)
+	for i := range batch {
+		id := r.nextID.Add(1)
+		authors := []string{r.zipfName()}
+		if r.rng.Float64() < 0.5 {
+			if second := r.zipfName(); second != authors[0] {
+				authors = append(authors, second)
+			}
+		}
+		if r.rng.Float64() < 0.1 {
+			authors = append(authors, fmt.Sprintf("Loadgen New Author %d", id))
+		}
+		batch[i] = paperOut{
+			Title:   fmt.Sprintf("loadgen paper %d on streaming disambiguation workloads", id),
+			Venue:   "KDD",
+			Year:    2021 + int(id)%4,
+			Authors: authors,
+		}
+	}
+	body, _ := json.Marshal(batch)
+	return op{kind: opIngest, body: body}
+}
+
+// phaseCounters aggregates one phase concurrently.
+type phaseCounters struct {
+	ops, s2xx, s429, s4xx, s5xx, netErr, dropped atomic.Int64
+	lat                                          *hdrhist.Histogram
+}
+
+func newPhaseCounters() *phaseCounters { return &phaseCounters{lat: hdrhist.New()} }
+
+func (c *phaseCounters) snapshot() OpStats {
+	return OpStats{
+		Ops:       c.ops.Load(),
+		Status2xx: c.s2xx.Load(),
+		Status429: c.s429.Load(),
+		Status4xx: c.s4xx.Load(),
+		Status5xx: c.s5xx.Load(),
+		NetErrors: c.netErr.Load(),
+		Dropped:   c.dropped.Load(),
+		Latency:   c.lat.Snapshot(),
+	}
+}
+
+// Run drives every phase in order and assembles the report.
+func (r *Runner) Run(ctx context.Context, phases []Phase) (*Report, error) {
+	rep := &Report{
+		BaseURL: r.cfg.BaseURL,
+		Seed:    r.cfg.Seed,
+		ZipfS:   r.cfg.ZipfS,
+		Names:   len(r.names),
+	}
+	for _, ph := range phases {
+		pr, err := r.runPhase(ctx, ph)
+		if err != nil {
+			return rep, err
+		}
+		rep.Phases = append(rep.Phases, *pr)
+	}
+	if err := r.getJSON("/metrics", &rep.Final); err != nil {
+		return rep, fmt.Errorf("final metrics: %w", err)
+	}
+	return rep, nil
+}
+
+func (r *Runner) runPhase(ctx context.Context, ph Phase) (*PhaseReport, error) {
+	if ph.Rate <= 0 || ph.Duration <= 0 {
+		return nil, fmt.Errorf("phase %q needs positive rate and duration", ph.Name)
+	}
+	if ph.BatchSize <= 0 {
+		ph.BatchSize = 4
+	}
+	var m0 httpapi.Metrics
+	if err := r.getJSON("/metrics", &m0); err != nil {
+		return nil, fmt.Errorf("phase %q start metrics: %w", ph.Name, err)
+	}
+
+	reads, ingests := newPhaseCounters(), newPhaseCounters()
+	sem := make(chan struct{}, r.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	execute := func(o op, c *phaseCounters) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		t0 := time.Now()
+		var resp *http.Response
+		var err error
+		if o.kind == opIngest {
+			resp, err = r.client.Post(r.cfg.BaseURL+"/v1/papers", "application/json", bytes.NewReader(o.body))
+		} else {
+			resp, err = r.client.Get(r.cfg.BaseURL + o.path)
+		}
+		c.lat.RecordSince(t0)
+		c.ops.Add(1)
+		if err != nil {
+			c.netErr.Add(1)
+			return
+		}
+		// Drain so the connection is reused; the decoded bodies are
+		// not part of the measurement.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			c.s429.Add(1)
+		case resp.StatusCode >= 500:
+			c.s5xx.Add(1)
+		case resp.StatusCode >= 400:
+			c.s4xx.Add(1)
+		default:
+			c.s2xx.Add(1)
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / ph.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(ph.Duration)
+	defer deadline.Stop()
+	t0 := time.Now()
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			var o op
+			var c *phaseCounters
+			if r.rng.Float64() < ph.ReadRatio {
+				o, c = r.genRead(), reads
+			} else {
+				o, c = r.genIngest(ph.BatchSize), ingests
+			}
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go execute(o, c)
+			default:
+				// Open loop with a bounded harness: past the in-flight
+				// cap the arrival is shed client-side and counted.
+				c.dropped.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var m1 httpapi.Metrics
+	if err := r.getJSON("/metrics", &m1); err != nil {
+		return nil, fmt.Errorf("phase %q end metrics: %w", ph.Name, err)
+	}
+	return &PhaseReport{
+		Phase:          ph,
+		Seconds:        elapsed.Seconds(),
+		Reads:          reads.snapshot(),
+		Ingest:         ingests.snapshot(),
+		EpochStart:     m0.Epoch,
+		EpochEnd:       m1.Epoch,
+		QueueDepthEnd:  m1.Ingest.Depth,
+		Rejected429End: m1.Ingest.RejectedBatches,
+	}, nil
+}
+
+// AssertSLOs is the -ci gate: zero 5xx and zero transport errors
+// everywhere, and every Expect429 phase must actually have tripped
+// backpressure (at least one 429) — a smoke that proves the overload
+// path answers fast instead of stacking requests until something
+// breaks. Returns every violation, not just the first.
+func AssertSLOs(rep *Report) []error {
+	var errs []error
+	for _, ph := range rep.Phases {
+		for _, s := range []struct {
+			class string
+			st    OpStats
+		}{{"reads", ph.Reads}, {"ingest", ph.Ingest}} {
+			if s.st.Status5xx > 0 {
+				errs = append(errs, fmt.Errorf("phase %q: %d 5xx on %s", ph.Name, s.st.Status5xx, s.class))
+			}
+			if s.st.NetErrors > 0 {
+				errs = append(errs, fmt.Errorf("phase %q: %d transport errors on %s", ph.Name, s.st.NetErrors, s.class))
+			}
+		}
+		if ph.Expect429 && ph.Ingest.Status429 == 0 {
+			errs = append(errs, fmt.Errorf("phase %q: expected backpressure but saw zero 429s", ph.Name))
+		}
+	}
+	return errs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"iuad"
+	"iuad/internal/faultinject"
+	"iuad/internal/httpapi"
+	"iuad/internal/loadgen"
+)
+
+func loadService(t *testing.T, opts ...iuad.Option) *iuad.Service {
+	t.Helper()
+	scfg := iuad.DefaultSyntheticConfig()
+	scfg.Seed = 19
+	scfg.Authors = 120
+	scfg.Communities = 4
+	cfg := iuad.DefaultConfig()
+	cfg.Workers = 2
+	cfg.SampleRate = 0.5
+	cfg.Embedding.Dim = 16
+	cfg.Embedding.Epochs = 2
+	svc, err := iuad.Open(iuad.GenerateSynthetic(scfg).Corpus, append(opts, iuad.WithConfig(cfg))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// TestSteadyPhase drives a short mixed workload end to end: every
+// request answered, zero 5xx, epochs advance with the ingests, and
+// the report carries both client latencies and server metrics.
+func TestSteadyPhase(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(loadService(t)))
+	defer srv.Close()
+
+	r, err := loadgen.New(loadgen.Config{BaseURL: srv.URL, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), []loadgen.Phase{{
+		Name: "steady", Duration: 700 * time.Millisecond, Rate: 150, ReadRatio: 0.8, BatchSize: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 1 {
+		t.Fatalf("%d phases", len(rep.Phases))
+	}
+	ph := rep.Phases[0]
+	if ph.Reads.Ops == 0 || ph.Ingest.Ops == 0 {
+		t.Fatalf("degenerate mix: %+v", ph)
+	}
+	if ph.Reads.Status5xx != 0 || ph.Ingest.Status5xx != 0 || ph.Reads.NetErrors != 0 || ph.Ingest.NetErrors != 0 {
+		t.Fatalf("server errors under steady load: %+v", ph)
+	}
+	if ph.EpochEnd <= ph.EpochStart {
+		t.Fatalf("no epoch progress: %d → %d", ph.EpochStart, ph.EpochEnd)
+	}
+	if ph.Reads.Latency.Count == 0 || ph.Reads.Latency.P99Ns <= 0 {
+		t.Fatalf("no read latency recorded: %+v", ph.Reads.Latency)
+	}
+	if rep.Final.Ingest.AdmittedPapers == 0 || rep.Final.HTTP.Requests == 0 {
+		t.Fatalf("final server metrics empty: %+v", rep.Final)
+	}
+	if errs := loadgen.AssertSLOs(rep); len(errs) != 0 {
+		t.Fatalf("SLO violations on a healthy run: %v", errs)
+	}
+}
+
+// TestOverloadPhaseTrips429 pins the overload smoke the CI load job
+// relies on: with publishes artificially slowed and a tiny admission
+// bound, a pure-ingest burst must be answered with 429s (not 5xx, not
+// hangs), and AssertSLOs must pass only because backpressure engaged.
+func TestOverloadPhaseTrips429(t *testing.T) {
+	svc := loadService(t, iuad.WithIngestConfig(iuad.IngestConfig{MaxQueued: 4, RetryAfter: time.Second}))
+	srv := httptest.NewServer(httpapi.New(svc))
+	defer srv.Close()
+
+	// Every epoch publish takes ≥40ms: at 4-paper batches and a
+	// 4-paper bound, a 100/s ingest burst must overflow the queue.
+	disarm := faultinject.Arm(faultinject.PublishDelay, func() error {
+		time.Sleep(40 * time.Millisecond)
+		return nil
+	})
+	defer disarm()
+
+	r, err := loadgen.New(loadgen.Config{BaseURL: srv.URL, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), []loadgen.Phase{{
+		Name: "overload", Duration: 600 * time.Millisecond, Rate: 100, ReadRatio: 0, BatchSize: 4, Expect429: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := rep.Phases[0]
+	if ph.Ingest.Status429 == 0 {
+		t.Fatalf("burst never tripped backpressure: %+v", ph.Ingest)
+	}
+	if ph.Ingest.Status5xx != 0 {
+		t.Fatalf("overload produced 5xx: %+v", ph.Ingest)
+	}
+	if rep.Final.Ingest.RejectedBatches == 0 {
+		t.Fatalf("server counted no rejections: %+v", rep.Final.Ingest)
+	}
+	if errs := loadgen.AssertSLOs(rep); len(errs) != 0 {
+		t.Fatalf("SLOs should hold (429s expected): %v", errs)
+	}
+
+	// The same report with Expect429 on a phase that saw none fails.
+	rep.Phases[0].Ingest.Status429 = 0
+	if errs := loadgen.AssertSLOs(rep); len(errs) == 0 {
+		t.Fatal("AssertSLOs passed a run whose overload phase saw zero 429s")
+	}
+}

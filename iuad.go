@@ -50,6 +50,31 @@
 // with one atomic store. Open with WithSnapshot restores a saved
 // service with no EM re-run and bit-identical behavior.
 //
+// Ingest is admission-controlled: a bounded queue (WithIngestQueue)
+// group-commits concurrent batches into single epoch publishes —
+// bit-identical to serial ingest — and sheds load past its bound with
+// a typed, retryable error instead of queueing unboundedly. Batches
+// are atomic: they either commit whole or (on overload, cancellation,
+// or shutdown) leave no trace.
+//
+//	svc, err := iuad.Open(corpus, iuad.WithIngestQueue(256))
+//	...
+//	if _, err := svc.AddPapers(ctx, batch); err != nil {
+//		var over *iuad.OverloadedError
+//		if errors.As(err, &over) {
+//			time.Sleep(over.RetryAfter) // backpressure: retry later
+//		}
+//	}
+//
+// cmd/iuadserver exposes the same contract over HTTP (429 +
+// Retry-After, stable JSON error codes, SIGTERM drain-then-snapshot),
+// and cmd/loadgen drives an open-loop Zipf read/ingest workload
+// against it with SLO assertions — see DESIGN.md §12:
+//
+//	iuadserver -synthetic -addr :8080 -snapshot iuad.snap -ingest-queue 256 &
+//	loadgen -url http://127.0.0.1:8080 -duration 10s -rate 200 \
+//	        -overload-rate 600 -ci -out load_report.json
+//
 // The lower-level batch API (Disambiguate returning a bare Pipeline)
 // remains for offline analysis — threshold sweeps, experiments,
 // evaluation — and is what Service wraps.

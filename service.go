@@ -12,6 +12,7 @@ import (
 
 	"iuad/internal/bib"
 	"iuad/internal/core"
+	"iuad/internal/ingestq"
 )
 
 // Service is the serving-first face of IUAD: a concurrency-safe façade
@@ -45,6 +46,7 @@ type Service struct {
 	mu           sync.Mutex // serializes writers and snapshotting
 	pl           *core.Pipeline
 	pub          *core.ViewPublisher
+	q            *ingestq.Queue // admission control + group commit (DESIGN.md §12)
 	snapshotPath string
 	recovery     *core.RecoveryReport
 	closed       bool
@@ -82,6 +84,7 @@ type options struct {
 	snapshotPath string
 	shards       int
 	allowPartial bool
+	ingest       ingestq.Config
 }
 
 // Option configures Open and NewService.
@@ -115,6 +118,23 @@ func WithSnapshot(path string) Option {
 // one segment file per shard, written and loaded in parallel.
 func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
+}
+
+// WithIngestQueue bounds the ingest admission queue at maxQueued
+// papers (admitted but not yet committed; default 1024). Past the
+// bound AddPapers rejects immediately with *OverloadedError — the
+// backpressure signal HTTP servers map to 429 — so heap use under
+// overload stays bounded instead of queueing without limit. See
+// DESIGN.md §12.
+func WithIngestQueue(maxQueued int) Option {
+	return func(o *options) { o.ingest.MaxQueued = maxQueued }
+}
+
+// WithIngestConfig replaces the whole ingest-queue configuration
+// (admission bound, group-commit cap, Retry-After hint). Zero fields
+// take the defaults. WithIngestQueue is the common shorthand.
+func WithIngestConfig(cfg ingestq.Config) Option {
+	return func(o *options) { o.ingest = cfg }
 }
 
 // WithPartialRecovery lets Open serve a composite snapshot even when
@@ -188,12 +208,14 @@ func newService(pl *core.Pipeline, epoch uint64, o *options, seeds []core.ShardS
 	if o.workersSet {
 		pl.Cfg.Workers = o.workers
 	}
-	return &Service{
+	s := &Service{
 		pl:           pl,
 		pub:          core.NewShardedViewPublisher(pl, epoch, core.NormShards(o.shards), seeds),
 		snapshotPath: o.snapshotPath,
 		recovery:     rep,
 	}
+	s.q = ingestq.New(s.commitBatch, o.ingest)
+	return s
 }
 
 // AddPaper disambiguates and registers one newly published paper
@@ -213,13 +235,45 @@ func (s *Service) AddPaper(ctx context.Context, p Paper) ([]Assignment, error) {
 // profile warm-up per paper, one epoch publish per batch) — so batch
 // boundaries are a throughput choice, not a semantic one.
 //
-// ctx is checked between papers. On cancellation (or a validation
-// error) the already-ingested prefix is still published and returned
-// alongside the error; nothing of the failed paper is registered.
+// The batch is atomic: it is validated up front and either publishes
+// whole — inside exactly one epoch, possibly shared with concurrent
+// batches via group commit (DESIGN.md §12) — or fails having ingested
+// nothing. Failure modes are typed:
+//
+//   - *OverloadedError: the bounded ingest queue (WithIngestQueue) is
+//     past its high-water mark; retry after the hint. HTTP servers map
+//     this to 429 with a Retry-After header.
+//   - *CanceledError (unwrapping ctx.Err()): ctx was cancelled while
+//     the batch was still queued; it was withdrawn without ingesting
+//     anything and no epoch carries any part of it. Once the batch is
+//     taken by a commit it runs to completion even if ctx dies.
+//   - ErrClosed: Close has shut the write API down.
 func (s *Service) AddPapers(ctx context.Context, batch []Paper) ([][]Assignment, error) {
+	// Validate before admission so a malformed paper cannot fail a
+	// group commit mid-batch: admitted batches always commit whole.
+	for i := range batch {
+		if err := batch[i].Validate(); err != nil {
+			return nil, fmt.Errorf("iuad: batch paper %d: %w", i, err)
+		}
+	}
+	res, err := s.q.Submit(ctx, batch)
+	if errors.Is(err, ingestq.ErrClosed) {
+		return res, ErrClosed
+	}
+	return res, err
+}
+
+// commitBatch is the ingest queue's CommitFunc: it applies one
+// (possibly group-concatenated) admitted batch under the write lock
+// and publishes it as one epoch. The queue calls it from exactly one
+// goroutine at a time — the current commit leader — which preserves
+// the serialized-ingest bit-identity contract. The batch is already
+// validated and past cancellation, so it runs with a background
+// context: an admitted batch publishes whole or not at all.
+func (s *Service) commitBatch(batch []bib.Paper) ([][]core.Assignment, error) {
 	// Route first: raise the pending counters of the shards this
-	// batch's author names hash to, so /shards shows queue depth while
-	// the batch waits for the serialized core-ingest lock.
+	// batch's author names hash to, so /shards shows publish depth
+	// while the batch waits for the serialized core-ingest lock.
 	done := s.pub.RouteBegin(batch)
 	defer done()
 	t0 := time.Now()
@@ -229,7 +283,7 @@ func (s *Service) AddPapers(ctx context.Context, batch []Paper) ([][]Assignment,
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	res, err := s.pl.AddPapers(ctx, batch)
+	res, err := s.pl.AddPapers(context.Background(), batch)
 	var pc *core.PublishCapture
 	if len(res) > 0 {
 		// Capture is the only publish work that must run under the
@@ -245,6 +299,11 @@ func (s *Service) AddPapers(ctx context.Context, batch []Paper) ([][]Assignment,
 	}
 	return res, err
 }
+
+// Ingest returns the ingest queue's accounting: current depth against
+// the admission bound, admitted/rejected/canceled counters, group
+// commit sizes, and queue-wait / publish-lag latency summaries.
+func (s *Service) Ingest() ingestq.Stats { return s.q.Stats() }
 
 // Stats returns the sizes of the currently published epoch.
 func (s *Service) Stats() Stats { return s.pub.Current().Stats() }
@@ -317,7 +376,7 @@ func (s *Service) AuthorsByName(name string) []Author {
 func (s *Service) Paper(id PaperID) (*Paper, error) {
 	p, ok := s.pub.Current().PaperMeta(id)
 	if !ok {
-		return nil, fmt.Errorf("iuad: unknown paper id %d", id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPaper, id)
 	}
 	return p, nil
 }
@@ -362,11 +421,18 @@ func (s *Service) saveFileLocked(path string) error {
 	})
 }
 
-// Close shuts the write API down. When the service was opened with
-// WithSnapshot, Close first persists the current state to that path,
-// so a process driving Close on shutdown restarts exactly where it
-// stopped. Reads keep working against the last published epoch.
+// Close shuts the write API down in drain order: stop admitting (new
+// AddPapers fail, in-flight queued batches are flushed through their
+// commits), then — when the service was opened with WithSnapshot —
+// persist the fully-drained state to that path, so a process driving
+// Close on shutdown restarts exactly where it stopped. Safe to call
+// concurrently with AddPapers and idempotent: losers of the admission
+// race get ErrClosed, a second Close returns nil without re-saving.
+// Reads keep working against the last published epoch.
 func (s *Service) Close() error {
+	// Drain outside the write lock: the queued batches' commits take
+	// s.mu themselves, so holding it here would deadlock the flush.
+	s.q.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
