@@ -14,9 +14,21 @@
 //	GET  /v1/authors?name=Wei+Wang     the homonym set of an exact name
 //	GET  /v1/authors/{id}              one author: name, papers, years, venues
 //	GET  /v1/authors/{id}/coauthors    the author's collaboration neighbors
+//	GET  /v1/authors/{id}/ego?hops=H   bounded-BFS ego subgraph with edge weights
+//	GET  /v1/authors/{id}/collaborators?k=K  strongest coauthors + overlap features
+//	GET  /v1/authors/{id}/clustering   local clustering coefficient and triangles
+//	GET  /v1/network                   whole-graph topology: density, components, degrees
+//	GET  /v1/communities               deterministic label-propagation partition
 //	GET  /v1/resolve?paper=P&index=I   who wrote the I-th name of paper P
 //	GET  /v1/papers/{id}               one published paper record
 //	POST /v1/papers                    ingest; body = one paper object or an array
+//
+// The analytics endpoints (/v1/network, /v1/communities, and the
+// ego/collaborators/clustering subresources) are answered from an
+// epoch-keyed cache compiled lazily per published epoch (DESIGN.md
+// §13): repeat queries on one epoch are a single atomic load, e.g.
+//
+//	curl localhost:8080/v1/communities
 //
 // POST bodies are bibliographic records:
 //

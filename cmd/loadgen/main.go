@@ -18,12 +18,41 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"iuad/internal/loadgen"
 )
+
+// parseMix turns -mix into a read mix: the presets "default" and
+// "analytics", or explicit "endpoint=weight,..." pairs. Validation of
+// the endpoint names happens in loadgen.Run, which rejects unknown
+// names up front.
+func parseMix(s string) (map[string]float64, error) {
+	switch s {
+	case "", "default":
+		return nil, nil // loadgen substitutes DefaultReadMix
+	case "analytics":
+		return loadgen.AnalyticsReadMix(), nil
+	}
+	mix := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix entry %q is not endpoint=weight", pair)
+		}
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-mix entry %q: %v", pair, err)
+		}
+		mix[name] = weight
+	}
+	return mix, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,9 +69,14 @@ func main() {
 		zipfS     = flag.Float64("zipf", 1.3, "Zipf skew exponent of the read name distribution (> 1)")
 		names     = flag.Int("names", 96, "author-name universe size bootstrapped from the service")
 		ci        = flag.Bool("ci", false, "assert SLOs (zero 5xx / transport errors; overload phase must see 429s) and exit nonzero on violation")
+		mixFlag   = flag.String("mix", "default", "steady-phase read mix: 'default', 'analytics' (folds in ego/collaborators/network/communities), or 'endpoint=weight,...' pairs (valid endpoints: "+strings.Join(loadgen.ReadEndpoints(), ", ")+")")
 		out       = flag.String("out", "", "write the JSON report here ('' = stdout)")
 	)
 	flag.Parse()
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	r, err := loadgen.New(loadgen.Config{
 		BaseURL:    *baseURL,
@@ -59,6 +93,7 @@ func main() {
 		Rate:      *rate,
 		ReadRatio: *readRatio,
 		BatchSize: *batch,
+		ReadMix:   mix,
 	}}
 	if *ovRate > 0 {
 		phases = append(phases, loadgen.Phase{

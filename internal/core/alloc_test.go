@@ -41,6 +41,32 @@ func TestAllocsSimilaritiesOfProfiles(t *testing.T) {
 	}
 }
 
+// TestAllocsAppendCoauthors: the append-into-caller-buffer adjacency
+// read must not allocate when the buffer has capacity — the contract
+// the per-epoch analytics compiler (internal/netstats) relies on when
+// it sweeps every vertex's row into one CSR slab. The previous
+// per-call materialization (neighborIDs) cost one allocation per
+// vertex per sweep.
+func TestAllocsAppendCoauthors(t *testing.T) {
+	d := testDataset(17)
+	pl, err := Run(d.Corpus, fastCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewViewPublisher(pl, 0).Current()
+	n := v.NumVertices()
+	buf := make([]int32, 0, 2*pl.GCN.G.NumEdges()+1)
+	avg := testing.AllocsPerRun(50, func() {
+		buf = buf[:0]
+		for id := 0; id < n; id++ {
+			buf, _ = v.AppendCoauthors(id, buf)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendCoauthors allocates %.1f objects per full-graph sweep, want 0", avg)
+	}
+}
+
 // TestAllocsRefineRound pins a full refineOnce round on a carried
 // refineState at a threshold that merges nothing: every profile and
 // every pair score is reused, so the round's allocations are the

@@ -75,7 +75,7 @@ func TestShardedViewMatchesPipeline(t *testing.T) {
 				}
 			}
 			nbrs, _ := v.Coauthors(id)
-			want := neighborIDs(pl.GCN, id)
+			want := appendNeighborIDs(pl.GCN, id, nil)
 			if len(nbrs) != len(want) {
 				t.Fatalf("shards=%d: vertex %d degree %d, want %d", shards, id, len(nbrs), len(want))
 			}

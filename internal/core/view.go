@@ -189,6 +189,19 @@ func (v *View) Coauthors(id int) ([]int32, bool) {
 	return nil, true
 }
 
+// AppendCoauthors appends the sorted coauthor vertex IDs of id to buf
+// and returns the extended buffer — the append-into-caller-buffer
+// variant of Coauthors for read paths that aggregate adjacency across
+// many vertices (compiling per-epoch analytics, exporting CSR rows).
+// It allocates nothing when buf has capacity.
+func (v *View) AppendCoauthors(id int, buf []int32) ([]int32, bool) {
+	c, ok := v.Coauthors(id)
+	if !ok {
+		return buf, false
+	}
+	return append(buf, c...), true
+}
+
 // VerticesOfName returns the ascending vertex IDs carrying the exact
 // author name, served from the owning shard's index. The slice is
 // shared; do not mutate.
@@ -419,11 +432,19 @@ func NewShardedViewPublisher(pl *Pipeline, epoch uint64, shards int, seeds []Sha
 			byNameDelta: map[string][]int32{},
 		}
 	}
+	// All adjacency rows are carved out of one slab: two allocations for
+	// the whole build instead of one per vertex. Published rows stay
+	// immutable — each is capacity-bounded, and a realloc on growth only
+	// abandons (never mutates) the old backing array.
+	coauthSlab := make([]int32, 0, 2*gcn.G.NumEdges())
 	for i := 0; i < nVerts; i++ {
 		sv := views[vp.vertShard[i]]
 		r := vp.vertRank[i]
 		sv.papersBase[r] = gcn.Verts[i].Papers
-		sv.coauthBase[r] = neighborIDs(gcn, i)
+		if start := len(coauthSlab); gcn.G.Degree(i) > 0 {
+			coauthSlab = appendNeighborIDs(gcn, i, coauthSlab)
+			sv.coauthBase[r] = coauthSlab[start:len(coauthSlab):len(coauthSlab)]
+		}
 		if name := vp.names[i]; name != "" {
 			sv.byNameBase[name] = append(sv.byNameBase[name], int32(i))
 		}
@@ -526,6 +547,7 @@ func (vp *ViewPublisher) Capture(batches [][]Assignment) *PublishCapture {
 	// vertex always carries the slot's name, so the vertex's shard is
 	// the name block's shard.
 	seen := make(map[int32]bool, 8)
+	var coauthSlab []int32 // one backing array for the batch's coauthor rows
 	for _, as := range batches {
 		for _, a := range as {
 			sh := int(vp.vertShard[a.Vertex])
@@ -534,10 +556,15 @@ func (vp *ViewPublisher) Capture(batches [][]Assignment) *PublishCapture {
 				continue
 			}
 			seen[int32(a.Vertex)] = true
+			var coauth []int32
+			if start := len(coauthSlab); gcn.G.Degree(a.Vertex) > 0 {
+				coauthSlab = appendNeighborIDs(gcn, a.Vertex, coauthSlab)
+				coauth = coauthSlab[start:len(coauthSlab):len(coauthSlab)]
+			}
 			touch(sh).verts = append(touch(sh).verts, vertTouch{
 				rank:   vp.vertRank[a.Vertex],
 				papers: gcn.Verts[a.Vertex].Papers,
-				coauth: neighborIDs(gcn, a.Vertex),
+				coauth: coauth,
 			})
 		}
 	}
@@ -833,17 +860,14 @@ func (vp *ViewPublisher) flattenShard(sv *shardView) {
 	}
 }
 
-// neighborIDs materializes the sorted adjacency of vertex v as a
-// private slice (graph adjacency mutates in place and cannot be
-// shared with lock-free readers).
-func neighborIDs(n *Network, v int) []int32 {
-	d := n.G.Degree(v)
-	if d == 0 {
-		return nil
-	}
-	out := make([]int32, 0, d)
-	n.G.VisitNeighbors(v, func(u int) { out = append(out, int32(u)) })
-	return out
+// appendNeighborIDs materializes the sorted adjacency of vertex v into
+// buf and returns the extended buffer (graph adjacency mutates in place
+// and cannot be shared with lock-free readers). Callers carve per-vertex
+// rows out of one capture-owned slab instead of allocating a fresh slice
+// per call; carved rows must be capacity-bounded (three-index sliced) so
+// later appends can never write into a published row.
+func appendNeighborIDs(n *Network, v int, buf []int32) []int32 {
+	return n.G.AppendNeighbors(v, buf)
 }
 
 // corpusLen is the total paper count: frozen corpus + streamed.

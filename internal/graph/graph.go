@@ -110,6 +110,15 @@ func (g *Graph) VisitNeighbors(v int, fn func(u int)) {
 	}
 }
 
+// AppendNeighbors appends the sorted neighbor IDs of v to buf and
+// returns the extended buffer. Unlike Neighbors it allocates nothing
+// when buf has capacity, so callers materializing adjacency for many
+// vertices can carve rows out of one slab.
+func (g *Graph) AppendNeighbors(v int, buf []int32) []int32 {
+	g.check(v)
+	return append(buf, g.adj[v]...)
+}
+
 func (g *Graph) check(v int) {
 	if v < 0 || v >= len(g.adj) {
 		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))

@@ -37,6 +37,7 @@ import (
 var endpointNames = []string{
 	"healthz", "stats", "shards", "metrics",
 	"resolve", "authors_by_name", "author", "coauthors", "paper",
+	"network", "communities", "ego", "collaborators", "clustering",
 	"ingest",
 }
 
@@ -72,6 +73,7 @@ type Metrics struct {
 	Epoch      uint64               `json:"epoch"`
 	Ingest     iuad.IngestStats     `json:"ingest"`
 	Contention core.ContentionStats `json:"contention"`
+	Analytics  iuad.AnalyticsStats  `json:"analytics"`
 	HTTP       HTTPStats            `json:"http"`
 }
 
@@ -105,6 +107,7 @@ func (s *Server) Metrics() Metrics {
 		Epoch:      s.svc.Epoch(),
 		Ingest:     s.svc.Ingest(),
 		Contention: s.svc.Contention(),
+		Analytics:  s.svc.Analytics(),
 		HTTP: HTTPStats{
 			Requests:  s.requests.Load(),
 			Status2xx: s.status2xx.Load(),
@@ -154,6 +157,12 @@ func (s *Server) routes() {
 	s.handle("/metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
+	s.handle("/v1/network", "network", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Network())
+	})
+	s.handle("/v1/communities", "communities", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Communities())
+	})
 	s.handle("/v1/resolve", "resolve", func(w http.ResponseWriter, r *http.Request) {
 		paper, err1 := strconv.Atoi(r.URL.Query().Get("paper"))
 		index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
@@ -180,8 +189,9 @@ func (s *Server) routes() {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/authors/")
 		idStr, sub, _ := strings.Cut(rest, "/")
 		name := "author"
-		if sub == "coauthors" {
-			name = "coauthors"
+		switch sub {
+		case "coauthors", "ego", "collaborators", "clustering":
+			name = sub
 		}
 		s.measured(name, w, r, func(w http.ResponseWriter, r *http.Request) {
 			id, err := strconv.Atoi(idStr)
@@ -204,6 +214,43 @@ func (s *Server) routes() {
 					return
 				}
 				writeJSON(w, http.StatusOK, peers)
+			case "ego":
+				hops := 1
+				if hs := r.URL.Query().Get("hops"); hs != "" {
+					hops, err = strconv.Atoi(hs)
+					if err != nil {
+						writeErrorCode(w, http.StatusBadRequest, "bad_request", "bad ?hops= "+strconv.Quote(hs))
+						return
+					}
+				}
+				eg, err := svc.Ego(id, hops)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, eg)
+			case "collaborators":
+				k := 10
+				if ks := r.URL.Query().Get("k"); ks != "" {
+					k, err = strconv.Atoi(ks)
+					if err != nil {
+						writeErrorCode(w, http.StatusBadRequest, "bad_request", "bad ?k= "+strconv.Quote(ks))
+						return
+					}
+				}
+				cols, err := svc.TopCollaborators(id, k)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, cols)
+			case "clustering":
+				c, err := svc.Clustering(id)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, c)
 			default:
 				writeErrorCode(w, http.StatusNotFound, "not_found", "unknown author subresource "+strconv.Quote(sub))
 			}

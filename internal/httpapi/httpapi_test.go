@@ -91,6 +91,11 @@ func TestErrorEnvelopeCodes(t *testing.T) {
 		{"GET on ingest", get("/v1/papers"), 405, "method_not_allowed"},
 		{"malformed JSON", post("{nope"), 400, "bad_request"},
 		{"invalid paper", post(`{"title":"x","authors":[]}`), 400, "bad_request"},
+		{"unknown ego author", get("/v1/authors/999999/ego"), 404, "not_found"},
+		{"bad ego hops", get("/v1/authors/0/ego?hops=two"), 400, "bad_request"},
+		{"unknown collaborators author", get("/v1/authors/999999/collaborators"), 404, "not_found"},
+		{"bad collaborators k", get("/v1/authors/0/collaborators?k=x"), 400, "bad_request"},
+		{"unknown clustering author", get("/v1/authors/999999/clustering"), 404, "not_found"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -186,6 +191,100 @@ func TestIngestRoundTrip(t *testing.T) {
 	}
 	if wire.Ingest.AdmittedPapers != 3 || wire.Epoch == 0 {
 		t.Fatalf("/metrics document %+v", wire)
+	}
+}
+
+// TestAnalyticsEndpoints drives the collaboration-network surface over
+// the wire: whole-graph stats, communities, and the per-author
+// ego/collaborators/clustering subresources, plus the analytics-cache
+// counters in /metrics.
+func TestAnalyticsEndpoints(t *testing.T) {
+	api := httpapi.New(testService(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	getJSON := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	var net struct {
+		Authors    int     `json:"authors"`
+		Edges      int     `json:"edges"`
+		Density    float64 `json:"density"`
+		Components int     `json:"components"`
+	}
+	getJSON("/v1/network", &net)
+	if net.Authors <= 0 || net.Edges <= 0 || net.Density <= 0 || net.Components <= 0 {
+		t.Fatalf("/v1/network = %+v", net)
+	}
+
+	var comm struct {
+		Count int   `json:"count"`
+		Sizes []int `json:"sizes"`
+	}
+	getJSON("/v1/communities", &comm)
+	if comm.Count <= 0 || len(comm.Sizes) == 0 {
+		t.Fatalf("/v1/communities = %+v", comm)
+	}
+
+	var eg struct {
+		Center   int               `json:"center"`
+		Hops     int               `json:"hops"`
+		Vertices []json.RawMessage `json:"vertices"`
+		Names    []string          `json:"names"`
+	}
+	getJSON("/v1/authors/0/ego?hops=2", &eg)
+	if eg.Center != 0 || eg.Hops != 2 || len(eg.Vertices) == 0 || len(eg.Names) != len(eg.Vertices) {
+		t.Fatalf("/v1/authors/0/ego = %+v", eg)
+	}
+
+	var cols []struct {
+		ID           int    `json:"id"`
+		SharedPapers int    `json:"shared_papers"`
+		Name         string `json:"name"`
+	}
+	getJSON("/v1/authors/0/collaborators?k=3", &cols)
+	if len(cols) == 0 || len(cols) > 3 {
+		t.Fatalf("/v1/authors/0/collaborators = %+v", cols)
+	}
+	for _, c := range cols {
+		if c.SharedPapers <= 0 || c.Name == "" {
+			t.Fatalf("collaborator %+v", c)
+		}
+	}
+
+	var cl struct {
+		ID          int     `json:"id"`
+		Degree      int     `json:"degree"`
+		Coefficient float64 `json:"coefficient"`
+	}
+	getJSON("/v1/authors/0/clustering", &cl)
+	if cl.Degree <= 0 {
+		t.Fatalf("/v1/authors/0/clustering = %+v", cl)
+	}
+
+	// The whole sweep ran on one epoch: one rebuild, the rest cache
+	// hits, all visible in the metrics document.
+	var m httpapi.Metrics
+	getJSON("/metrics", &m)
+	if m.Analytics.Rebuilds != 1 || m.Analytics.Hits == 0 || !m.Analytics.Cached {
+		t.Fatalf("analytics counters %+v", m.Analytics)
+	}
+	for _, name := range []string{"network", "communities", "ego", "collaborators", "clustering"} {
+		if _, ok := m.HTTP.Endpoints[name]; !ok {
+			t.Fatalf("no %s latency recorded: %+v", name, m.HTTP.Endpoints)
+		}
 	}
 }
 

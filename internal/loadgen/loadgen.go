@@ -28,6 +28,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +48,11 @@ type Phase struct {
 	// are ingest batches of BatchSize papers).
 	ReadRatio float64 `json:"read_ratio"`
 	BatchSize int     `json:"batch_size"`
+	// ReadMix weights the read endpoints this phase exercises (see
+	// ReadEndpoints for the valid names). Empty means DefaultReadMix.
+	// Naming an unknown endpoint is a config error reported before any
+	// load is offered — never a silently dropped arrival.
+	ReadMix map[string]float64 `json:"read_mix,omitempty"`
 	// Expect429 marks a deliberate-overload phase: CI asserts the
 	// server answered at least one 429 here (backpressure engaged)
 	// and, as everywhere, zero 5xx.
@@ -118,10 +125,7 @@ type Report struct {
 type opKind int
 
 const (
-	opReadName opKind = iota
-	opReadAuthor
-	opReadResolve
-	opReadStats
+	opRead opKind = iota
 	opIngest
 )
 
@@ -133,16 +137,119 @@ type op struct {
 	body []byte // for ingest
 }
 
+// readGens maps a read-mix endpoint name onto its arrival generator.
+// The names are the loadgen-facing vocabulary, not URL paths, so a
+// phase can say "ego" without caring which route serves it.
+var readGens = map[string]func(*Runner) op{
+	"name": func(r *Runner) op {
+		return op{kind: opRead, path: "/v1/authors?name=" + url.QueryEscape(r.zipfName())}
+	},
+	"author": func(r *Runner) op {
+		return op{kind: opRead, path: fmt.Sprintf("/v1/authors/%d", r.rng.Intn(maxInt(1, r.authors)))}
+	},
+	"resolve": func(r *Runner) op {
+		return op{kind: opRead, path: fmt.Sprintf("/v1/resolve?paper=%d&index=0", r.rng.Intn(maxInt(1, r.papers)))}
+	},
+	"stats": func(r *Runner) op {
+		return op{kind: opRead, path: "/v1/stats"}
+	},
+	"ego": func(r *Runner) op {
+		return op{kind: opRead, path: fmt.Sprintf("/v1/authors/%d/ego?hops=%d",
+			r.rng.Intn(maxInt(1, r.authors)), 1+r.rng.Intn(2))}
+	},
+	"collaborators": func(r *Runner) op {
+		return op{kind: opRead, path: fmt.Sprintf("/v1/authors/%d/collaborators?k=8",
+			r.rng.Intn(maxInt(1, r.authors)))}
+	},
+	"network": func(r *Runner) op {
+		return op{kind: opRead, path: "/v1/network"}
+	},
+	"communities": func(r *Runner) op {
+		return op{kind: opRead, path: "/v1/communities"}
+	},
+}
+
+// ReadEndpoints returns the valid ReadMix endpoint names, sorted.
+func ReadEndpoints() []string {
+	names := make([]string, 0, len(readGens))
+	for name := range readGens {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultReadMix is the bibliography-traffic mix phases get when they
+// set no ReadMix: name lookup and author fetch dominate.
+func DefaultReadMix() map[string]float64 {
+	return map[string]float64{"name": 0.45, "author": 0.35, "resolve": 0.15, "stats": 0.05}
+}
+
+// AnalyticsReadMix folds the collaboration-network analytics endpoints
+// into the read traffic so SLO assertions cover them.
+func AnalyticsReadMix() map[string]float64 {
+	return map[string]float64{
+		"name": 0.25, "author": 0.25,
+		"ego": 0.20, "collaborators": 0.15, "network": 0.10, "communities": 0.05,
+	}
+}
+
+// readMix is a compiled, validated ReadMix: endpoint names in sorted
+// order with cumulative weights, so sampling is deterministic for one
+// seed regardless of map iteration order.
+type readMix struct {
+	names []string
+	cum   []float64
+	total float64
+}
+
+func compileReadMix(m map[string]float64) (*readMix, error) {
+	if len(m) == 0 {
+		m = DefaultReadMix()
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	mix := &readMix{names: names, cum: make([]float64, len(names))}
+	for i, name := range names {
+		if _, ok := readGens[name]; !ok {
+			return nil, fmt.Errorf("unknown read endpoint %q (valid: %s)",
+				name, strings.Join(ReadEndpoints(), ", "))
+		}
+		w := m[name]
+		if w <= 0 {
+			return nil, fmt.Errorf("read endpoint %q needs a positive weight, got %v", name, w)
+		}
+		mix.total += w
+		mix.cum[i] = mix.total
+	}
+	return mix, nil
+}
+
+// sample picks one endpoint name by weight.
+func (m *readMix) sample(x float64) string {
+	x *= m.total
+	for i, c := range m.cum {
+		if x < c {
+			return m.names[i]
+		}
+	}
+	return m.names[len(m.names)-1]
+}
+
 // Runner drives phases against one server. Construct with New (which
 // bootstraps the name universe from the live service).
 type Runner struct {
-	cfg    Config
-	client *http.Client
-	rng    *rand.Rand
-	zipf   *rand.Zipf
-	names  []string
-	papers int // published paper count at bootstrap (resolve targets)
-	nextID atomic.Int64
+	cfg     Config
+	client  *http.Client
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	names   []string
+	papers  int // published paper count at bootstrap (resolve targets)
+	authors int // published author count at bootstrap (author/ego/collaborator targets)
+	nextID  atomic.Int64
 }
 
 func New(cfg Config) (*Runner, error) {
@@ -180,6 +287,7 @@ func (r *Runner) bootstrap() error {
 		return errors.New("loadgen bootstrap: service publishes zero authors")
 	}
 	r.papers = st.Papers
+	r.authors = st.Authors
 	seen := make(map[string]bool, r.cfg.NameSample)
 	for len(r.names) < r.cfg.NameSample && len(seen) < st.Authors {
 		var a struct {
@@ -215,19 +323,9 @@ func (r *Runner) getJSON(path string, v any) error {
 // zipfName samples the skewed read target.
 func (r *Runner) zipfName() string { return r.names[r.zipf.Uint64()] }
 
-// genRead picks one read op; the mix leans on the two paths that
-// dominate real bibliography traffic (name lookup and author fetch).
-func (r *Runner) genRead() op {
-	switch x := r.rng.Float64(); {
-	case x < 0.45:
-		return op{kind: opReadName, path: "/v1/authors?name=" + url.QueryEscape(r.zipfName())}
-	case x < 0.80:
-		return op{kind: opReadAuthor, path: fmt.Sprintf("/v1/authors/%d", r.rng.Intn(maxInt(1, r.papers)))}
-	case x < 0.95:
-		return op{kind: opReadResolve, path: fmt.Sprintf("/v1/resolve?paper=%d&index=0", r.rng.Intn(maxInt(1, r.papers)))}
-	default:
-		return op{kind: opReadStats, path: "/v1/stats"}
-	}
+// genRead picks one read op from the phase's compiled mix.
+func (r *Runner) genRead(mix *readMix) op {
+	return readGens[mix.sample(r.rng.Float64())](r)
 }
 
 // genIngest builds one POST body of n papers: Zipf-skewed existing
@@ -283,7 +381,9 @@ func (c *phaseCounters) snapshot() OpStats {
 	}
 }
 
-// Run drives every phase in order and assembles the report.
+// Run drives every phase in order and assembles the report. Every
+// phase's read mix is validated before any load is offered, so a
+// misconfigured phase is an error up front, not a silently skewed run.
 func (r *Runner) Run(ctx context.Context, phases []Phase) (*Report, error) {
 	rep := &Report{
 		BaseURL: r.cfg.BaseURL,
@@ -291,8 +391,16 @@ func (r *Runner) Run(ctx context.Context, phases []Phase) (*Report, error) {
 		ZipfS:   r.cfg.ZipfS,
 		Names:   len(r.names),
 	}
-	for _, ph := range phases {
-		pr, err := r.runPhase(ctx, ph)
+	mixes := make([]*readMix, len(phases))
+	for i, ph := range phases {
+		mix, err := compileReadMix(ph.ReadMix)
+		if err != nil {
+			return rep, fmt.Errorf("phase %q: %w", ph.Name, err)
+		}
+		mixes[i] = mix
+	}
+	for i, ph := range phases {
+		pr, err := r.runPhase(ctx, ph, mixes[i])
 		if err != nil {
 			return rep, err
 		}
@@ -304,7 +412,7 @@ func (r *Runner) Run(ctx context.Context, phases []Phase) (*Report, error) {
 	return rep, nil
 }
 
-func (r *Runner) runPhase(ctx context.Context, ph Phase) (*PhaseReport, error) {
+func (r *Runner) runPhase(ctx context.Context, ph Phase, mix *readMix) (*PhaseReport, error) {
 	if ph.Rate <= 0 || ph.Duration <= 0 {
 		return nil, fmt.Errorf("phase %q needs positive rate and duration", ph.Name)
 	}
@@ -372,7 +480,7 @@ loop:
 			var o op
 			var c *phaseCounters
 			if r.rng.Float64() < ph.ReadRatio {
-				o, c = r.genRead(), reads
+				o, c = r.genRead(mix), reads
 			} else {
 				o, c = r.genIngest(ph.BatchSize), ingests
 			}

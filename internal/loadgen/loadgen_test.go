@@ -72,6 +72,75 @@ func TestSteadyPhase(t *testing.T) {
 	}
 }
 
+// TestAnalyticsReadMix drives the analytics endpoints through the
+// harness: a phase whose mix is only ego/collaborators/network/
+// communities must complete with zero 5xx and zero transport errors —
+// the SLO coverage the new read surface gets in CI.
+func TestAnalyticsReadMix(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(loadService(t)))
+	defer srv.Close()
+
+	r, err := loadgen.New(loadgen.Config{BaseURL: srv.URL, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background(), []loadgen.Phase{{
+		Name: "analytics", Duration: 500 * time.Millisecond, Rate: 120, ReadRatio: 1, BatchSize: 2,
+		ReadMix: map[string]float64{"ego": 0.4, "collaborators": 0.3, "network": 0.2, "communities": 0.1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := rep.Phases[0]
+	if ph.Reads.Ops == 0 {
+		t.Fatal("analytics phase offered no reads")
+	}
+	if ph.Reads.Status5xx != 0 || ph.Reads.NetErrors != 0 {
+		t.Fatalf("analytics reads failed: %+v", ph.Reads)
+	}
+	if errs := loadgen.AssertSLOs(rep); len(errs) != 0 {
+		t.Fatalf("SLO violations: %v", errs)
+	}
+	// The server answered from the analytics cache and said so.
+	if rep.Final.Analytics.Hits == 0 || !rep.Final.Analytics.Cached {
+		t.Fatalf("analytics cache counters empty: %+v", rep.Final.Analytics)
+	}
+	for _, name := range []string{"ego", "collaborators", "network", "communities"} {
+		if _, ok := rep.Final.HTTP.Endpoints[name]; !ok {
+			t.Fatalf("no server-side %s latency: %+v", name, rep.Final.HTTP.Endpoints)
+		}
+	}
+}
+
+// TestReadMixValidation pins the config contract: a phase naming an
+// unknown endpoint (or a non-positive weight) is an error before any
+// load is offered — never a silently dropped arrival.
+func TestReadMixValidation(t *testing.T) {
+	srv := httptest.NewServer(httpapi.New(loadService(t)))
+	defer srv.Close()
+
+	r, err := loadgen.New(loadgen.Config{BaseURL: srv.URL, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mix  map[string]float64
+	}{
+		{"unknown endpoint", map[string]float64{"ego": 0.5, "nonsense": 0.5}},
+		{"non-positive weight", map[string]float64{"ego": 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := r.Run(context.Background(), []loadgen.Phase{{
+				Name: "bad", Duration: time.Second, Rate: 50, ReadRatio: 1, ReadMix: tc.mix,
+			}})
+			if err == nil {
+				t.Fatal("misconfigured mix was accepted")
+			}
+		})
+	}
+}
+
 // TestOverloadPhaseTrips429 pins the overload smoke the CI load job
 // relies on: with publishes artificially slowed and a tiny admission
 // bound, a pure-ingest burst must be answered with 429s (not 5xx, not

@@ -1,0 +1,94 @@
+package netstats
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iuad/internal/core"
+)
+
+// CacheStats is the analytics-cache accounting served by /metrics: a
+// hit is a query answered off the atomic pointer with no lock; a miss
+// is a query that arrived with a view the cache had not compiled yet;
+// a rebuild is an actual compile (concurrent misses on one epoch
+// coalesce into a single rebuild).
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Rebuilds int64 `json:"rebuilds"`
+	// CompileNsTotal accrues wall time spent compiling graphs.
+	CompileNsTotal int64 `json:"compile_ns_total"`
+	// Epoch is the epoch of the currently cached graph; Cached is
+	// false before the first compile (epoch 0 is a valid epoch).
+	Epoch  uint64 `json:"epoch"`
+	Cached bool   `json:"cached"`
+}
+
+// Cache is the epoch-keyed analytics cache: one compiled Graph behind
+// an atomic pointer. The fast path — a query for the epoch already
+// compiled — is one atomic load and one counter increment, no locks,
+// so repeat analytics scale like the rest of the read surface. When
+// the view's epoch differs, the caller compiles under a mutex (double-
+// checked, so a burst of readers racing into a fresh epoch does one
+// compile, not N) and the finished graph is swapped in with one store:
+// readers never observe a half-built cache.
+type Cache struct {
+	workers int
+	cur     atomic.Pointer[Graph]
+	mu      sync.Mutex // serializes compiles
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	rebuilds  atomic.Int64
+	compileNs atomic.Int64
+}
+
+// NewCache returns a cache whose compiles use the given sched worker
+// count (≤ 0 means one per logical CPU; the compiled bytes are
+// identical either way).
+func NewCache(workers int) *Cache {
+	return &Cache{workers: workers}
+}
+
+// For returns the analytics graph of exactly the given view: callers
+// load a view once and query both the serving surface and the
+// analytics surface against it, so answers are mutually consistent
+// even while ingest publishes later epochs. A reader holding an older
+// view than the cache gets a freshly compiled graph for its epoch
+// without disturbing the cached newer one.
+func (c *Cache) For(v *core.View) *Graph {
+	if g := c.cur.Load(); g != nil && g.Epoch() == v.Epoch() {
+		c.hits.Add(1)
+		return g
+	}
+	c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g := c.cur.Load(); g != nil && g.Epoch() == v.Epoch() {
+		return g
+	}
+	start := time.Now()
+	g := Compile(v, c.workers)
+	c.compileNs.Add(int64(time.Since(start)))
+	c.rebuilds.Add(1)
+	if cur := c.cur.Load(); cur == nil || g.Epoch() >= cur.Epoch() {
+		c.cur.Store(g)
+	}
+	return g
+}
+
+// Stats returns the cache accounting.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Rebuilds:       c.rebuilds.Load(),
+		CompileNsTotal: c.compileNs.Load(),
+	}
+	if g := c.cur.Load(); g != nil {
+		st.Epoch = g.Epoch()
+		st.Cached = true
+	}
+	return st
+}

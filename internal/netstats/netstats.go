@@ -1,0 +1,187 @@
+// Package netstats is the per-epoch collaboration-network analytics
+// engine behind Service.Network/Ego/TopCollaborators/Clustering/
+// Communities: the disambiguated graph is the paper's product, and this
+// package turns each published epoch into a queryable, immutable
+// weighted CSR.
+//
+// A Graph is compiled lazily from a published core.View — never from
+// the mutable pipeline — so analytics answered mid-ingest are exactly
+// the analytics of the epoch the reader loaded, and recompiling from
+// the same epoch is bit-identical. Edge weights are shared-paper
+// counts (the merge-join intersection size of the endpoints' sorted
+// paper sets), the weighted-collaboration measure the bottom-up
+// reconstruction exists to expose. Vertices lost to a partial snapshot
+// recovery (dead vertices: AuthorName reports false) keep their global
+// IDs but carry empty rows and are excluded from every statistic.
+//
+// Determinism contract: every query on a Graph — including the
+// parallel compile itself and label-propagation Communities — returns
+// byte-identical results for every worker count and across runs.
+// Parallel stages only ever write disjoint per-vertex slots; every
+// reduction runs serially in ascending vertex order; community labels
+// are seeded and tie-broken by the interned vertex ID.
+//
+// Immutability contract: once Compile returns, no reachable state of
+// the Graph is ever written again (the lazily computed Communities
+// result is built under a sync.Once before its pointer escapes), so
+// any number of goroutines may query one Graph without synchronization
+// — the property the epoch-keyed Cache relies on to serve repeat
+// queries off one atomic load.
+package netstats
+
+import (
+	"iuad/internal/bib"
+	"iuad/internal/core"
+	"iuad/internal/sched"
+)
+
+// Graph is one epoch's immutable weighted collaboration network in CSR
+// form, indexed by global vertex ID (the IDs the serving surface and
+// the spine's routing columns use).
+type Graph struct {
+	epoch  uint64
+	n      int // vertex-ID space, including dead vertices
+	live   int // vertices that answer queries
+	edges  int // undirected edges between live vertices
+	weight int64
+
+	off  []int32 // CSR row offsets, len n+1
+	adj  []int32 // neighbor global IDs, ascending within each row
+	w    []int32 // shared-paper count per adjacency entry
+	dead []bool  // lost to partial recovery; empty rows
+
+	stats NetworkStats
+	comm  communitiesOnce
+}
+
+// Epoch returns the publish epoch this graph was compiled from.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// NumVertices returns the vertex-ID space size (dead vertices
+// included, so IDs are interchangeable with the serving surface's).
+func (g *Graph) NumVertices() int { return g.n }
+
+// Live reports whether id is a live, queryable vertex.
+func (g *Graph) Live(id int) bool {
+	return id >= 0 && id < g.n && !g.dead[id]
+}
+
+// Degree returns the live degree of id (dead vertices report 0).
+func (g *Graph) Degree(id int) int {
+	if id < 0 || id >= g.n {
+		return 0
+	}
+	return int(g.off[id+1] - g.off[id])
+}
+
+// row returns the adjacency and weight row of id; the slices are
+// shared with the graph and must not be mutated.
+func (g *Graph) row(id int) (adj, w []int32) {
+	lo, hi := g.off[id], g.off[id+1]
+	return g.adj[lo:hi], g.w[lo:hi]
+}
+
+// Compile builds the analytics graph of one published view. It reads
+// only the view's immutable state, so it is safe to run concurrently
+// with ingest, and its output is byte-identical for every workers
+// value (sched.Workers semantics: n ≤ 0 means one per logical CPU).
+func Compile(v *core.View, workers int) *Graph {
+	n := v.NumVertices()
+	g := &Graph{epoch: v.Epoch(), n: n, dead: make([]bool, n)}
+
+	// Pass 1 (serial): liveness, then filtered degrees → row offsets.
+	// Adjacency rows are the view's shared slices; nothing is copied.
+	for id := 0; id < n; id++ {
+		if _, ok := v.AuthorName(id); !ok {
+			g.dead[id] = true
+		} else {
+			g.live++
+		}
+	}
+	g.off = make([]int32, n+1)
+	total := int32(0)
+	for id := 0; id < n; id++ {
+		g.off[id] = total
+		if g.dead[id] {
+			continue
+		}
+		row, _ := v.Coauthors(id)
+		for _, u := range row {
+			if !g.dead[u] {
+				total++
+			}
+		}
+	}
+	g.off[n] = total
+	g.adj = make([]int32, total)
+	g.w = make([]int32, total)
+	g.edges = int(total) / 2
+
+	// Pass 2 (parallel): each vertex fills exactly its own CSR row —
+	// disjoint index ranges, so any worker count writes identical
+	// bytes. Weights are computed once per direction; the merge-join
+	// over the endpoints' sorted paper sets is the same count either
+	// way.
+	wk := sched.Workers(workers)
+	sched.ForEach(wk, n, func(id int) {
+		if g.dead[id] {
+			return
+		}
+		papers, _ := v.AuthorPapers(id)
+		row, _ := v.Coauthors(id)
+		at := g.off[id]
+		for _, u := range row {
+			if g.dead[u] {
+				continue
+			}
+			up, _ := v.AuthorPapers(int(u))
+			g.adj[at] = u
+			g.w[at] = int32(intersectPapers(papers, up))
+			at++
+		}
+	})
+	for i := range g.w {
+		g.weight += int64(g.w[i])
+	}
+	g.weight /= 2
+
+	g.stats = computeStats(g, wk)
+	return g
+}
+
+// intersectPapers returns |a ∩ b| for two ascending PaperID slices.
+func intersectPapers(a, b []bib.PaperID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// intersectCount returns |a ∩ b| for two ascending int32 slices (CSR
+// adjacency rows).
+func intersectCount(a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -13,6 +13,7 @@ import (
 	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/ingestq"
+	"iuad/internal/netstats"
 )
 
 // Service is the serving-first face of IUAD: a concurrency-safe façade
@@ -46,7 +47,8 @@ type Service struct {
 	mu           sync.Mutex // serializes writers and snapshotting
 	pl           *core.Pipeline
 	pub          *core.ViewPublisher
-	q            *ingestq.Queue // admission control + group commit (DESIGN.md §12)
+	q            *ingestq.Queue  // admission control + group commit (DESIGN.md §12)
+	net          *netstats.Cache // epoch-keyed analytics (DESIGN.md §13)
 	snapshotPath string
 	recovery     *core.RecoveryReport
 	closed       bool
@@ -211,6 +213,7 @@ func newService(pl *core.Pipeline, epoch uint64, o *options, seeds []core.ShardS
 	s := &Service{
 		pl:           pl,
 		pub:          core.NewShardedViewPublisher(pl, epoch, core.NormShards(o.shards), seeds),
+		net:          netstats.NewCache(pl.Cfg.Workers),
 		snapshotPath: o.snapshotPath,
 		recovery:     rep,
 	}

@@ -1,0 +1,410 @@
+package iuad_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"iuad"
+)
+
+// analyticsFingerprint hashes everything the analytics surface can
+// answer — network stats, the full community partition, and sampled
+// ego/collaborator/clustering queries — with float64 fields folded in
+// as raw bits, so equality means byte-identity, not approximation.
+// Safe to call from any goroutine (dead vertices are skipped, which is
+// itself deterministic per epoch).
+func analyticsFingerprint(svc *iuad.Service) string {
+	h := sha256.New()
+	n := svc.Network()
+	fmt.Fprintf(h, "net %+v|%x|%x|%x|%x\n", n,
+		math.Float64bits(n.Density), math.Float64bits(n.LargestComponentFraction),
+		math.Float64bits(n.AvgClustering), math.Float64bits(n.DegreeSlope))
+	c := svc.Communities()
+	fmt.Fprintf(h, "comm %d %d %d %v %v\n", c.Epoch, c.Count, c.Rounds, c.Converged, c.Sizes)
+	_ = binary.Write(h, binary.LittleEndian, c.Labels)
+	for id := 0; id < len(c.Labels); id += 7 {
+		eg, err := svc.Ego(id, 2)
+		if err != nil {
+			continue // dead vertex
+		}
+		fmt.Fprintf(h, "ego %d %+v\n", id, *eg)
+		cols, _ := svc.TopCollaborators(id, 5)
+		for _, col := range cols {
+			fmt.Fprintf(h, "col %d %d %d %x %s\n",
+				col.ID, col.SharedPapers, col.CommonNeighbors, math.Float64bits(col.Overlap), col.Name)
+		}
+		cl, _ := svc.Clustering(id)
+		fmt.Fprintf(h, "clu %+v %x\n", cl, math.Float64bits(cl.Coefficient))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestNetstatsEpochConsistency is the analytics consistency contract:
+// analytics answered mid-ingest — while writers race the readers — are
+// bit-identical to re-running the same queries on that epoch's
+// published snapshot, and the whole surface (Communities included) is
+// byte-identical across worker counts and shard counts. Readers must
+// never observe a half-built cache: any fingerprint captured within
+// one epoch must equal the reference fingerprint of that epoch.
+func TestNetstatsEpochConsistency(t *testing.T) {
+	d := serviceDataset(31)
+	probes := streamProbes(d, "net", 10)
+
+	// Reference: serial single-shard service, analytics re-run at every
+	// epoch boundary.
+	ref, err := iuad.Open(d.Corpus, iuad.WithConfig(equivCoreConfig(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := map[uint64]string{0: analyticsFingerprint(ref)}
+	for _, p := range probes {
+		if _, err := ref.AddPaper(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+		want[ref.Epoch()] = analyticsFingerprint(ref)
+	}
+
+	// Live: different worker count AND shard count, with reader
+	// goroutines querying analytics while the ingester publishes.
+	svc, err := iuad.Open(d.Corpus, iuad.WithConfig(equivCoreConfig(2)), iuad.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var mu sync.Mutex
+	observed := map[uint64]string{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Epoch unchanged across the whole sweep ⇒ every query
+				// inside it was answered from that epoch (publishes are
+				// monotonic), so the sweep is attributable to one epoch.
+				e0 := svc.Epoch()
+				fp := analyticsFingerprint(svc)
+				if svc.Epoch() == e0 {
+					mu.Lock()
+					observed[e0] = fp
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	// The ingester fingerprints every epoch it publishes, with the
+	// reader goroutines racing their own sweeps against the publishes —
+	// every epoch is deterministically checked, and whatever the readers
+	// additionally catch mid-ingest is checked too.
+	record := func() {
+		e := svc.Epoch()
+		fp := analyticsFingerprint(svc)
+		mu.Lock()
+		observed[e] = fp
+		mu.Unlock()
+	}
+	record() // epoch 0, before any publish
+	for _, p := range probes {
+		if _, err := svc.AddPaper(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+		record()
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(observed) < 2 {
+		t.Fatalf("captured only %d epochs", len(observed))
+	}
+	for epoch, fp := range observed {
+		wantFP, ok := want[epoch]
+		if !ok {
+			t.Fatalf("observed epoch %d the reference never published", epoch)
+		}
+		if fp != wantFP {
+			t.Errorf("epoch %d: mid-ingest analytics diverge from the epoch's snapshot", epoch)
+		}
+	}
+
+	// Cache accounting: the reader storm must have been mostly
+	// lock-free hits. Rebuilds exceed the epoch count only when a
+	// reader's already-loaded view goes stale across a publish (the
+	// compile runs but the store is skipped), and each such rebuild
+	// needs one concurrently racing query — so the bound is epochs ×
+	// concurrent queriers (3 readers + the ingester).
+	as := svc.Analytics()
+	if as.Hits == 0 {
+		t.Fatal("no analytics-cache hits under repeat queries")
+	}
+	epochs := int64(len(probes)) + 1
+	if as.Rebuilds > epochs*4 {
+		t.Fatalf("%d rebuilds for %d epochs", as.Rebuilds, epochs)
+	}
+	if as.Rebuilds > as.Misses {
+		t.Fatalf("%d rebuilds exceed %d misses", as.Rebuilds, as.Misses)
+	}
+}
+
+// TestEgoEdgeCases covers the BFS boundary contract: hops 0 (and
+// negative hops, clamped to 0) return just the author; unknown and
+// out-of-range authors return ErrUnknownAuthor.
+func TestEgoEdgeCases(t *testing.T) {
+	d := serviceDataset(33)
+	svc, err := iuad.Open(d.Corpus, iuad.WithConfig(equivCoreConfig(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for _, hops := range []int{0, -3} {
+		eg, err := svc.Ego(0, hops)
+		if err != nil {
+			t.Fatalf("Ego(0, %d): %v", hops, err)
+		}
+		if len(eg.Vertices) != 1 || eg.Vertices[0].ID != 0 || len(eg.Edges) != 0 || eg.Hops != 0 {
+			t.Fatalf("Ego(0, %d) = %+v, want just the center", hops, eg)
+		}
+		if len(eg.Names) != 1 || eg.Names[0] == "" {
+			t.Fatalf("Ego(0, %d) names = %v", hops, eg.Names)
+		}
+	}
+
+	st := svc.Stats()
+	for _, id := range []int{-1, st.Authors, st.Authors + 99} {
+		if _, err := svc.Ego(id, 1); !errors.Is(err, iuad.ErrUnknownAuthor) {
+			t.Fatalf("Ego(%d, 1) = %v, want ErrUnknownAuthor", id, err)
+		}
+		if _, err := svc.TopCollaborators(id, 3); !errors.Is(err, iuad.ErrUnknownAuthor) {
+			t.Fatalf("TopCollaborators(%d) = %v, want ErrUnknownAuthor", id, err)
+		}
+		if _, err := svc.Clustering(id); !errors.Is(err, iuad.ErrUnknownAuthor) {
+			t.Fatalf("Clustering(%d) = %v, want ErrUnknownAuthor", id, err)
+		}
+	}
+
+	// Ego names and degrees agree with the serving surface at the same
+	// epoch (no ingest running here).
+	eg, err := svc.Ego(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range eg.Vertices {
+		a, err := svc.Author(int(ev.ID))
+		if err != nil {
+			t.Fatalf("ego vertex %d unknown to the serving surface: %v", ev.ID, err)
+		}
+		if eg.Names[i] != a.Name || ev.Degree != a.Coauthors {
+			t.Fatalf("ego vertex %d: name %q degree %d, serving surface %q %d",
+				ev.ID, eg.Names[i], ev.Degree, a.Name, a.Coauthors)
+		}
+	}
+}
+
+// TestEgoPartialRecoveryDeadVertex pins analytics over a partially
+// recovered service: vertices lost with a snapshot segment are
+// ErrUnknownAuthor to Ego, invisible to live egos and communities, and
+// counted as DeadVertices in Network().
+func TestEgoPartialRecoveryDeadVertex(t *testing.T) {
+	d := serviceDataset(61)
+	path := filepath.Join(t.TempDir(), "svc.snap")
+	const shards = 4
+
+	live, err := iuad.Open(d.Corpus,
+		iuad.WithConfig(equivCoreConfig(1)), iuad.WithShards(shards), iuad.WithSnapshot(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveNet := live.Network()
+	liveInfos := live.Shards()
+	liveEpoch := live.Stats().Epoch
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if liveNet.DeadVertices != 0 {
+		t.Fatalf("full service reports %d dead vertices", liveNet.DeadVertices)
+	}
+
+	lostShard := -1
+	for _, info := range liveInfos {
+		if info.Authors > 0 {
+			lostShard = info.Shard
+			break
+		}
+	}
+	if lostShard < 0 {
+		t.Fatal("no shard owns authors")
+	}
+	if err := os.Remove(fmt.Sprintf("%s.e%d.s%03d", path, liveEpoch, lostShard)); err != nil {
+		t.Fatal(err)
+	}
+
+	partial, err := iuad.Open(nil,
+		iuad.WithSnapshot(path), iuad.WithShards(shards), iuad.WithPartialRecovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partial.Close()
+	rep := partial.Recovery()
+	if rep == nil || rep.LostAuthors == 0 {
+		t.Fatalf("recovery report %+v, want lost authors", rep)
+	}
+
+	// Find one dead vertex: any ID the serving surface no longer knows.
+	st := partial.Stats()
+	deadID := -1
+	for id := 0; id < st.Authors; id++ {
+		if _, err := partial.Author(id); errors.Is(err, iuad.ErrUnknownAuthor) {
+			deadID = id
+			break
+		}
+	}
+	if deadID < 0 {
+		t.Fatal("no dead vertex found after losing a segment")
+	}
+
+	if _, err := partial.Ego(deadID, 2); !errors.Is(err, iuad.ErrUnknownAuthor) {
+		t.Fatalf("Ego(dead %d) = %v, want ErrUnknownAuthor", deadID, err)
+	}
+	if _, err := partial.TopCollaborators(deadID, 3); !errors.Is(err, iuad.ErrUnknownAuthor) {
+		t.Fatalf("TopCollaborators(dead %d) = %v, want ErrUnknownAuthor", deadID, err)
+	}
+
+	net := partial.Network()
+	if net.DeadVertices != rep.LostAuthors {
+		t.Fatalf("Network reports %d dead vertices, recovery lost %d", net.DeadVertices, rep.LostAuthors)
+	}
+	if net.Authors != liveNet.Authors-rep.LostAuthors {
+		t.Fatalf("live authors %d, want %d − %d", net.Authors, liveNet.Authors, rep.LostAuthors)
+	}
+
+	// Live egos never surface dead vertices.
+	checked := 0
+	for id := 0; id < st.Authors && checked < 20; id++ {
+		eg, err := partial.Ego(id, 2)
+		if err != nil {
+			continue
+		}
+		checked++
+		for i, ev := range eg.Vertices {
+			if _, err := partial.Author(int(ev.ID)); err != nil {
+				t.Fatalf("ego of %d contains dead vertex %d", id, ev.ID)
+			}
+			if eg.Names[i] == "" {
+				t.Fatalf("ego of %d has unnamed vertex %d", id, ev.ID)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no live egos found")
+	}
+
+	// Communities label the dead with −1 and nothing else.
+	comm := partial.Communities()
+	deadLabels := 0
+	for id, l := range comm.Labels {
+		dead := errors.Is(func() error { _, err := partial.Author(id); return err }(), iuad.ErrUnknownAuthor)
+		if dead != (l < 0) {
+			t.Fatalf("vertex %d: dead=%v but label %d", id, dead, l)
+		}
+		if l < 0 {
+			deadLabels++
+		}
+	}
+	if deadLabels != rep.LostAuthors {
+		t.Fatalf("%d dead labels, want %d", deadLabels, rep.LostAuthors)
+	}
+}
+
+// TestEgoDuringConcurrentIngest races analytics readers against a
+// concurrent ingest (run under -race in CI): every answer must be
+// well-formed and attributable to a published epoch, and the only
+// acceptable error is ErrUnknownAuthor for not-yet-published vertices.
+func TestEgoDuringConcurrentIngest(t *testing.T) {
+	d := serviceDataset(47)
+	svc, err := iuad.Open(d.Corpus, iuad.WithConfig(equivCoreConfig(2)), iuad.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	baseAuthors := svc.Stats().Authors
+
+	// Each reader runs a fixed number of sweeps (not a stop-channel
+	// race) so the amount of read work is deterministic: with far more
+	// analytics calls than published epochs, repeat same-epoch queries —
+	// and therefore cache hits — are guaranteed however the scheduler
+	// interleaves readers and ingester.
+	const sweeps = 120
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < sweeps; i++ {
+				id := (i*13 + r*7) % baseAuthors
+				eg, err := svc.Ego(id, 1+i%2)
+				if err != nil {
+					if !errors.Is(err, iuad.ErrUnknownAuthor) {
+						errCh <- fmt.Errorf("Ego(%d): %w", id, err)
+						return
+					}
+					continue
+				}
+				if len(eg.Vertices) == 0 || eg.Vertices[0].ID != int32(id) || len(eg.Names) != len(eg.Vertices) {
+					errCh <- fmt.Errorf("malformed ego of %d: %+v", id, eg)
+					return
+				}
+				cols, err := svc.TopCollaborators(id, 4)
+				if err != nil && !errors.Is(err, iuad.ErrUnknownAuthor) {
+					errCh <- fmt.Errorf("TopCollaborators(%d): %w", id, err)
+					return
+				}
+				if len(cols) > 0 && cols[0].Name == "" {
+					errCh <- fmt.Errorf("collaborator of %d has no name", id)
+					return
+				}
+				if n := svc.Network(); n.Authors <= 0 {
+					errCh <- fmt.Errorf("network stats report %d authors", n.Authors)
+					return
+				}
+			}
+		}(r)
+	}
+	ingestErr := make(chan error, 1)
+	go func() {
+		for _, p := range streamProbes(d, "race", 8) {
+			if _, err := svc.AddPaper(context.Background(), p); err != nil {
+				ingestErr <- err
+				return
+			}
+		}
+		ingestErr <- nil
+	}()
+	wg.Wait()
+	if err := <-ingestErr; err != nil {
+		t.Fatal(err)
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if svc.Analytics().Hits == 0 {
+		t.Fatal("analytics cache never hit during the read storm")
+	}
+}
