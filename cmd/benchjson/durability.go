@@ -1,0 +1,269 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"iuad"
+	"iuad/internal/hdrhist"
+	"iuad/internal/wal"
+)
+
+// AppendMeasure is the raw journal cost of one fsync policy: how many
+// nanoseconds and bytes one committed batch record costs before the
+// ack can go out.
+type AppendMeasure struct {
+	Policy     string          `json:"policy"`
+	Batches    int             `json:"batches"`
+	BatchSize  int             `json:"batch_size"`
+	NsPerOp    int64           `json:"ns_per_op"`
+	BytesPerOp int64           `json:"bytes_per_op"`
+	Fsyncs     int64           `json:"fsyncs"`
+	FsyncLat   hdrhist.Summary `json:"fsync_latency"`
+}
+
+// ReplayMeasure is one recovery over a journal of a given length: the
+// crash-to-serving cost as the journal grows between compactions.
+type ReplayMeasure struct {
+	Batches int `json:"batches"`
+	Papers  int `json:"papers"`
+	// ReplayNs is the journal replay alone (ReplayReport.WallNs);
+	// OpenNs is the whole restart including the base-snapshot load.
+	ReplayNs      int64   `json:"replay_ns"`
+	OpenNs        int64   `json:"open_ns"`
+	PapersPerSec  float64 `json:"papers_per_sec"`
+	JournalBytes  int64   `json:"journal_bytes"`
+	EpochRestored uint64  `json:"epoch_restored"`
+}
+
+// durabilityStream fabricates an ingest stream that reuses the fitted
+// corpus's author names, so replayed batches exercise real candidate
+// scoring rather than all-new vertices.
+func durabilityStream(corpus *iuad.Corpus, phase string, n int) []iuad.Paper {
+	out := make([]iuad.Paper, n)
+	for i := range out {
+		p := corpus.Paper(iuad.PaperID(i % corpus.Len()))
+		authors := append([]string(nil), p.Authors...)
+		out[i] = iuad.Paper{
+			Title:   fmt.Sprintf("durability %s probe %d", phase, i),
+			Venue:   p.Venue,
+			Year:    p.Year + 1,
+			Authors: authors,
+		}
+	}
+	return out
+}
+
+// copyDir clones a quiesced journal directory — the benchmark's
+// stand-in for the file state a SIGKILL leaves behind (the flock dies
+// with the process).
+func copyDir(src string) (string, error) {
+	dst, err := os.MkdirTemp("", "iuad-durability-*")
+	if err != nil {
+		return "", err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return dst, nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad entry %q", tok)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func dirBytes(dir string) int64 {
+	var total int64
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if info, err := e.Info(); err == nil && e.Type().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// runDurability measures the write-ahead journal: append cost per
+// fsync policy at the wal layer, then service-level crash recovery
+// (base load + replay) as a function of journal length. Writes the
+// committed BENCH_durability.json baseline.
+func runDurability(path string, appendBatches, batchSize int, replayCSV string) {
+	scfg := iuad.DefaultSyntheticConfig()
+	scfg.Seed = 7
+	scfg.Authors = 300
+	scfg.Communities = 8
+	corpus := iuad.GenerateSynthetic(scfg).Corpus
+	batch := durabilityStream(corpus, "append", batchSize)
+
+	// Part 1: raw journal appends, no service in the way. Fresh journal
+	// per policy; epochs are synthetic.
+	var appends []AppendMeasure
+	for _, pol := range []iuad.FsyncPolicy{iuad.FsyncPerCommit, iuad.FsyncGrouped, iuad.FsyncOff} {
+		dir, err := os.MkdirTemp("", "iuad-walbench-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		j, err := wal.Open(dir, wal.Config{Fsync: pol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := j.Recover(0, nil); err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < appendBatches; i++ {
+			if _, err := j.Append(uint64(i+1), batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(t0)
+		st := j.Stats()
+		if err := j.Close(); err != nil {
+			log.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		m := AppendMeasure{
+			Policy:     st.Fsync,
+			Batches:    appendBatches,
+			BatchSize:  batchSize,
+			NsPerOp:    elapsed.Nanoseconds() / int64(appendBatches),
+			BytesPerOp: st.AppendedBytes / int64(appendBatches),
+			Fsyncs:     st.Fsyncs,
+			FsyncLat:   st.FsyncLatency,
+		}
+		appends = append(appends, m)
+		fmt.Printf("append %-9s %8d ns/op  %6d B/op  (%d fsyncs, p99 %v)\n",
+			m.Policy, m.NsPerOp, m.BytesPerOp, m.Fsyncs,
+			time.Duration(m.FsyncLat.P99Ns).Round(time.Microsecond))
+	}
+
+	// Part 2: recovery wall time vs journal length. One journaled
+	// service per length M: compact right after the fit (so the base
+	// holds the fitted corpus and replay measures ONLY the M batches),
+	// ingest M batches, clone the dir out from under the live process,
+	// and time the restart over the clone.
+	cfg := iuad.DefaultConfig()
+	cfg.SampleRate = 0.5
+	cfg.Embedding.Dim = 16
+	cfg.Embedding.Epochs = 2
+	lengths, err := parseInts(replayCSV)
+	if err != nil {
+		log.Fatalf("bad -durability-replay list %q: %v", replayCSV, err)
+	}
+	jcfg := iuad.JournalConfig{Fsync: iuad.FsyncOff, CompactEvery: -1}
+	var replays []ReplayMeasure
+	for _, m := range lengths {
+		jdir, err := os.MkdirTemp("", "iuad-jbench-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := iuad.Open(corpus, iuad.WithConfig(cfg), iuad.WithJournalConfig(jdir, jcfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := svc.Compact(); err != nil {
+			log.Fatal(err)
+		}
+		stream := durabilityStream(corpus, "replay", m*batchSize)
+		for i := 0; i < m; i++ {
+			if _, err := svc.AddPapers(context.Background(), stream[i*batchSize:(i+1)*batchSize]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wantEpoch := svc.Epoch()
+		crash, err := copyDir(jdir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		rec, err := iuad.Open(nil, iuad.WithJournalConfig(crash, jcfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		openNs := time.Since(t0).Nanoseconds()
+		rep := rec.JournalRecovery()
+		if rep.Batches != m || rec.Epoch() != wantEpoch {
+			log.Fatalf("recovery replayed %d batches to epoch %d, want %d batches to epoch %d",
+				rep.Batches, rec.Epoch(), m, wantEpoch)
+		}
+		r := ReplayMeasure{
+			Batches:       m,
+			Papers:        rep.Papers,
+			ReplayNs:      rep.WallNs,
+			OpenNs:        openNs,
+			JournalBytes:  dirBytes(jdir),
+			EpochRestored: rec.Epoch(),
+		}
+		if rep.WallNs > 0 {
+			r.PapersPerSec = float64(rep.Papers) / (float64(rep.WallNs) / 1e9)
+		}
+		replays = append(replays, r)
+		fmt.Printf("replay %4d batches (%5d papers): replay %8v, full open %8v, %9.0f papers/s\n",
+			m, rep.Papers, time.Duration(rep.WallNs).Round(time.Microsecond),
+			time.Duration(openNs).Round(time.Microsecond), r.PapersPerSec)
+		rec.Close()
+		svc.Close()
+		os.RemoveAll(crash)
+		os.RemoveAll(jdir)
+	}
+
+	doc := struct {
+		Benchmark    string          `json:"benchmark"`
+		CorpusPapers int             `json:"corpus_papers"`
+		GoMaxProcs   int             `json:"gomaxprocs"`
+		NumCPU       int             `json:"num_cpu"`
+		Appends      []AppendMeasure `json:"appends"`
+		Replays      []ReplayMeasure `json:"replays"`
+		GeneratedAt  time.Time       `json:"generated_at"`
+	}{
+		Benchmark:    "CrashSafeDurability",
+		CorpusPapers: corpus.Len(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Appends:      appends,
+		Replays:      replays,
+		GeneratedAt:  time.Now().UTC(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

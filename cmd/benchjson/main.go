@@ -240,6 +240,11 @@ func main() {
 		loadSeed       = flag.Int64("load-seed", 1, "workload seed")
 		netOn          = flag.Bool("network", false, "run the collaboration-network analytics workload and write -network-out")
 		netOut         = flag.String("network-out", "BENCH_network.json", "output path of the -network report")
+		durOn          = flag.Bool("durability", false, "run the write-ahead journal workload (append cost per fsync policy, recovery wall time vs journal length) and write -durability-out")
+		durOut         = flag.String("durability-out", "BENCH_durability.json", "output path of the -durability report")
+		durAppends     = flag.Int("durability-appends", 256, "journal appends measured per fsync policy")
+		durBatch       = flag.Int("durability-batch", 16, "papers per journaled batch")
+		durReplay      = flag.String("durability-replay", "8,32,128", "comma-separated journal lengths (batches) for the recovery-time measurement")
 	)
 	flag.Parse()
 
@@ -253,6 +258,10 @@ func main() {
 	}
 	if *netOn {
 		runNetwork(*netOut)
+		return
+	}
+	if *durOn {
+		runDurability(*durOut, *durAppends, *durBatch, *durReplay)
 		return
 	}
 	if *loadOn {

@@ -49,9 +49,19 @@
 // persists the fully-drained state back to -snapshot, so the next
 // start resumes exactly where this one stopped.
 //
+// Crash safety: -journal DIR (mutually exclusive with -snapshot)
+// turns on the write-ahead batch journal (DESIGN.md §14). Every acked
+// ingest batch is journaled before it is applied, so a SIGKILL — or,
+// with -fsync percommit, a power cut — loses nothing that was acked:
+// the restart replays the journal on top of the base snapshot and
+// reproduces the killed process bit for bit. The listener comes up
+// BEFORE recovery (requests answer 503 {"code":"starting"} until
+// replay finishes), so health probes see the process immediately;
+// /healthz flips to 200 with the recovery report once serving.
+//
 // Run a self-contained demo instance (synthetic corpus, no data files):
 //
-//	iuadserver -synthetic -addr :8080 -snapshot /tmp/iuad.snap
+//	iuadserver -synthetic -addr :8080 -journal /tmp/iuad-wal
 package main
 
 import (
@@ -81,6 +91,9 @@ func main() {
 		shards     = flag.Int("shards", 1, "serving-state shards keyed by name block (1-256)")
 		partial    = flag.Bool("allow-partial", false, "serve a composite snapshot even when segment files are missing (lost shards restart empty)")
 		synthetic  = flag.Bool("synthetic", false, "fit a small synthetic corpus when no snapshot/corpus is given (demo/smoke)")
+		journalDir = flag.String("journal", "", "write-ahead journal directory: crash-safe continuous durability (mutually exclusive with -snapshot)")
+		fsyncMode  = flag.String("fsync", "percommit", "journal fsync policy: percommit (power-loss safe), grouped, or off (SIGKILL-safe only)")
+		compactN   = flag.Int("compact-every", 0, "journaled batches between base-snapshot compactions (0 = default 64, negative = never)")
 		ingestQ    = flag.Int("ingest-queue", 0, "ingest admission bound in papers; past it POST /v1/papers answers 429 (0 = default 1024)")
 		readTO     = flag.Duration("read-timeout", 30*time.Second, "per-request read deadline (http.Server.ReadTimeout; 0 = unlimited)")
 		writeTO    = flag.Duration("write-timeout", 60*time.Second, "per-request write deadline (http.Server.WriteTimeout; covers slow ingests; 0 = unlimited)")
@@ -99,21 +112,21 @@ func main() {
 		log.Printf("CHAOS: every epoch publish delayed %v", d)
 	}
 
-	svc, err := openService(*corpusPth, *snapPath, *workers, *shards, *partial, *synthetic, *ingestQ, *retryAfter)
+	if *journalDir != "" && *snapPath != "" {
+		log.Fatal("-journal and -snapshot are mutually exclusive: the journal owns its base snapshot")
+	}
+	fsync, err := iuad.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := svc.Stats()
-	log.Printf("serving epoch %d: %d papers, %d authors, %d edges, %d shards",
-		st.Epoch, st.Papers, st.Authors, st.Edges, st.Shards)
-	if rep := svc.Recovery(); rep != nil {
-		log.Printf("PARTIAL RECOVERY: segments %v lost (%d authors, %d slots); %d edges and %d retained pairs dropped",
-			rep.MissingSegments, rep.LostAuthors, rep.LostSlots, rep.DroppedEdges, rep.DroppedPairs)
-	}
 
+	// Listen BEFORE opening the service: journal replay can take a
+	// while, and probes should see a live (if 503 "starting") process
+	// the moment it exists. Attach atomically flips the full API on.
+	api := httpapi.NewPending()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(svc),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTO,
 		WriteTimeout:      *writeTO,
@@ -122,7 +135,29 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s (recovering)", *addr)
+
+	svc, err := openService(*corpusPth, *snapPath, *journalDir, *workers, *shards, *compactN,
+		fsync, *partial, *synthetic, *ingestQ, *retryAfter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	api.Attach(svc)
+	st := svc.Stats()
+	log.Printf("serving epoch %d: %d papers, %d authors, %d edges, %d shards",
+		st.Epoch, st.Papers, st.Authors, st.Edges, st.Shards)
+	if rep := svc.JournalRecovery(); rep != nil {
+		log.Printf("journal recovery: %d batches (%d papers) replayed from %d segments on base epoch %d in %.1fms",
+			rep.Batches, rep.Papers, rep.Segments, rep.BaseEpoch, float64(rep.WallNs)/1e6)
+		if rep.TruncatedTail {
+			log.Printf("journal recovery: torn tail truncated at %s offset %d (unacked crash remnant)",
+				rep.TruncatedPath, rep.TruncatedOffset)
+		}
+	}
+	if rep := svc.Recovery(); rep != nil {
+		log.Printf("PARTIAL RECOVERY: segments %v lost (%d authors, %d slots); %d edges and %d retained pairs dropped",
+			rep.MissingSegments, rep.LostAuthors, rep.LostSlots, rep.DroppedEdges, rep.DroppedPairs)
+	}
 
 	select {
 	case err := <-errCh:
@@ -142,14 +177,19 @@ func main() {
 	if err := svc.Close(); err != nil {
 		log.Fatalf("snapshot on shutdown: %v", err)
 	}
-	if *snapPath != "" {
+	switch {
+	case *journalDir != "":
+		log.Printf("journal compacted; state persisted to %s", *journalDir)
+	case *snapPath != "":
 		log.Printf("state persisted to %s", *snapPath)
 	}
 }
 
-// openService builds the Service from (in priority order) an existing
-// snapshot, a JSONL corpus, or the synthetic demo corpus.
-func openService(corpusPath, snapPath string, workers, shards int, partial, synthetic bool, ingestQ int, retryAfter time.Duration) (*iuad.Service, error) {
+// openService builds the Service from (in priority order) a journal
+// directory, an existing snapshot, a JSONL corpus, or the synthetic
+// demo corpus.
+func openService(corpusPath, snapPath, journalDir string, workers, shards, compactN int,
+	fsync iuad.FsyncPolicy, partial, synthetic bool, ingestQ int, retryAfter time.Duration) (*iuad.Service, error) {
 	opts := []iuad.Option{
 		iuad.WithWorkers(workers),
 		iuad.WithShards(shards),
@@ -157,6 +197,14 @@ func openService(corpusPath, snapPath string, workers, shards int, partial, synt
 	}
 	if partial {
 		opts = append(opts, iuad.WithPartialRecovery())
+	}
+	if journalDir != "" {
+		opts = append(opts, iuad.WithJournalConfig(journalDir,
+			iuad.JournalConfig{Fsync: fsync, CompactEvery: compactN}))
+		if _, err := os.Stat(iuad.JournalBasePath(journalDir)); err == nil {
+			log.Printf("recovering from journal %s (no refit)", journalDir)
+			return iuad.Open(nil, opts...)
+		}
 	}
 	if snapPath != "" {
 		opts = append(opts, iuad.WithSnapshot(snapPath))

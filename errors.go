@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"iuad/internal/ingestq"
+	"iuad/internal/wal"
 )
 
 // OverloadedError is the backpressure rejection from the bounded
@@ -25,6 +26,69 @@ type IngestStats = ingestq.Stats
 
 // IngestConfig parameterizes the ingest queue (WithIngestConfig).
 type IngestConfig = ingestq.Config
+
+// JournalConfig parameterizes the write-ahead batch journal
+// (WithJournalConfig): fsync policy, grouped-fsync cadence, segment
+// roll size, and the service's compaction threshold.
+type JournalConfig = wal.Config
+
+// FsyncPolicy selects when journal appends become durable. See the
+// constants below and DESIGN.md §14.
+type FsyncPolicy = wal.Policy
+
+// The journal fsync policies (JournalConfig.Fsync).
+const (
+	// FsyncPerCommit fsyncs inside every Append, before the ack:
+	// full power-loss durability per batch.
+	FsyncPerCommit = wal.SyncPerCommit
+	// FsyncGrouped acks from the page cache and fsyncs on a short
+	// timer: bounded power-loss window, amortized fsync cost.
+	FsyncGrouped = wal.SyncGrouped
+	// FsyncOff never fsyncs explicitly: survives SIGKILL (the page
+	// cache outlives the process) but not power loss.
+	FsyncOff = wal.SyncOff
+)
+
+// ParseFsyncPolicy maps the wire/flag spellings "percommit",
+// "grouped", "off" onto their FsyncPolicy (cmd/iuadserver's -fsync).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// JournalBasePath returns the base-snapshot path a journaled service
+// maintains inside dir — useful to check, before Open, whether a
+// restart can run without a corpus.
+func JournalBasePath(dir string) string { return wal.BaseSnapshotPath(dir) }
+
+// JournalStats is the journal's accounting, served by
+// Service.JournalStats and the HTTP /metrics endpoint.
+type JournalStats = wal.Stats
+
+// ReplayReport summarizes a journal recovery (what was replayed, what
+// a crash tore off); served by Service.JournalRecovery and /healthz.
+type ReplayReport = wal.ReplayReport
+
+// JournalLockError is the typed double-Open failure on a journal
+// directory; errors.Is(err, ErrJournalLocked) matches it.
+type JournalLockError = wal.LockError
+
+// JournalCorruptError reports a journal record that failed
+// verification somewhere the torn-tail rule cannot excuse; Open
+// refuses to serve rather than silently dropping an acked batch.
+type JournalCorruptError = wal.CorruptError
+
+// ErrJournalLocked reports that another process holds the journal
+// directory (see WithJournal).
+var ErrJournalLocked = wal.ErrLocked
+
+// JournalError wraps a journal append/fsync failure inside the commit
+// path: the batch was NOT committed and NOT acked — write-ahead means
+// a batch whose record cannot be made durable never lands in memory.
+// HTTP servers map it to 500. Match with errors.As.
+type JournalError struct{ Err error }
+
+func (e *JournalError) Error() string {
+	return "iuad: journal write failed; batch not committed: " + e.Err.Error()
+}
+func (e *JournalError) Unwrap() error { return e.Err }
 
 // Typed errors of the serving API. They are sentinel values so callers
 // can branch with errors.Is; functions that wrap them add call-site

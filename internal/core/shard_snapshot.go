@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -320,6 +321,29 @@ type segMeta struct {
 	sum     uint64
 }
 
+// ErrCorruptSegment reports a composite-snapshot segment file that
+// EXISTS but fails verification — truncated against its manifest
+// size, checksum-bad, or undecodable. It is deliberately a different
+// shape from a missing segment (a plain fs error carrying
+// fs.ErrNotExist): "the file vanished" and "the file's interior is
+// damaged" need different operator responses, and only the former is
+// the expected residue of a partial copy. Match with errors.As; the
+// strict (non-partial) open wraps it, the partial-recovery path
+// reports the segment in RecoveryReport either way.
+type ErrCorruptSegment struct {
+	Path string
+	// Offset is the byte offset of the earliest failure the loader
+	// can localize: the manifest-declared size for a truncated file,
+	// 0 when the damage is file-global (checksum mismatch) or inside
+	// the compressed decode stream.
+	Offset int64
+	Reason string
+}
+
+func (e *ErrCorruptSegment) Error() string {
+	return fmt.Sprintf("core: corrupt snapshot segment %s (offset %d): %s", e.Path, e.Offset, e.Reason)
+}
+
 // segPayload is one decoded segment, pre-merge.
 type segPayload struct {
 	verts   []segVert
@@ -433,12 +457,22 @@ func loadShardedService(sr *snapshot.Reader, dir string, allowPartial bool) (*Pi
 		}
 	}
 	if len(rep.MissingSegments) > 0 && !allowPartial {
+		first := rep.MissingSegments[0]
+		cause := payloads[first].missing
+		var ce *ErrCorruptSegment
+		if errors.As(cause, &ce) {
+			// A corrupt segment is typed and never carries
+			// fs.ErrNotExist, so wrapping with %w is safe AND useful:
+			// callers branch on errors.As to tell "interior damage,
+			// refuse/alert" from "file vanished, maybe refit".
+			return fail(fmt.Errorf("core: %d of %d snapshot segments unusable (first: shard %d): %w; open with partial recovery to serve the surviving shards",
+				len(rep.MissingSegments), n, first, cause))
+		}
 		// %v, not %w: a deleted segment's fs.ErrNotExist must not make
 		// the whole composite look like an absent snapshot — callers
 		// (Service.Open) would silently refit from scratch.
-		first := rep.MissingSegments[0]
 		return fail(fmt.Errorf("core: %d of %d snapshot segments unusable (first: shard %d: %v); open with partial recovery to serve the surviving shards",
-			len(rep.MissingSegments), n, first, payloads[first].missing))
+			len(rep.MissingSegments), n, first, cause))
 	}
 
 	// Merge, ascending shard index then ascending vertex ID — the
@@ -557,30 +591,41 @@ func inRange(id, total int) bool { return id >= 0 && id < total }
 // land in segPayload.missing so the caller can choose strict error vs
 // partial recovery.
 func loadSegment(path string, m *segMeta, sh, n int) segPayload {
+	// Two failure shapes, deliberately distinct: a read error is a
+	// MISSING segment (fs.ErrNotExist and friends — the partial-copy
+	// residue partial recovery was built for); everything after a
+	// successful read is a CORRUPT one, typed *ErrCorruptSegment.
 	miss := func(err error) segPayload { return segPayload{missing: err} }
+	corrupt := func(off int64, reason string) segPayload {
+		return segPayload{missing: &ErrCorruptSegment{Path: path, Offset: off, Reason: reason}}
+	}
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return miss(err)
 	}
 	if uint64(len(b)) != m.size {
-		return miss(fmt.Errorf("segment %s is %d bytes, manifest says %d", path, len(b), m.size))
+		off := int64(len(b))
+		if uint64(len(b)) > m.size {
+			off = int64(m.size)
+		}
+		return corrupt(off, fmt.Sprintf("segment is %d bytes, manifest says %d", len(b), m.size))
 	}
 	h := fnv.New64a()
 	h.Write(b)
 	if h.Sum64() != m.sum {
-		return miss(fmt.Errorf("segment %s fails its checksum", path))
+		return corrupt(0, "segment fails its checksum")
 	}
 	sr, err := snapshot.NewReader(bytes.NewReader(b), shardSegmentVersion)
 	if err != nil {
-		return miss(err)
+		return corrupt(0, err.Error())
 	}
 	if got, gotN := sr.Int(), sr.Int(); got != sh || gotN != n {
-		return miss(fmt.Errorf("segment %s is shard %d/%d, want %d/%d", path, got, gotN, sh, n))
+		return corrupt(0, fmt.Sprintf("segment is shard %d/%d, want %d/%d", got, gotN, sh, n))
 	}
 	var p segPayload
 	nv := sr.Int()
 	if sr.Err() != nil || nv < 0 || nv != m.authors {
-		return miss(fmt.Errorf("segment %s has %d vertices, manifest says %d", path, nv, m.authors))
+		return corrupt(0, fmt.Sprintf("segment has %d vertices, manifest says %d", nv, m.authors))
 	}
 	for i := 0; i < nv && sr.Err() == nil; i++ {
 		p.verts = append(p.verts, segVert{
@@ -592,14 +637,14 @@ func loadSegment(path string, m *segMeta, sh, n int) segPayload {
 	}
 	ne := sr.Int()
 	if sr.Err() != nil || ne < 0 {
-		return miss(fmt.Errorf("segment %s has a corrupt edge count", path))
+		return corrupt(0, "segment has a corrupt edge count")
 	}
 	for i := 0; i < ne && sr.Err() == nil; i++ {
 		p.edges = append(p.edges, segEdge{u: sr.Int(), v: sr.Int(), papers: decodePaperIDs(sr)})
 	}
 	ns := sr.Int()
 	if sr.Err() != nil || ns < 0 {
-		return miss(fmt.Errorf("segment %s has a corrupt slot count", path))
+		return corrupt(0, "segment has a corrupt slot count")
 	}
 	for i := 0; i < ns && sr.Err() == nil; i++ {
 		p.slots = append(p.slots, segSlot{
@@ -608,7 +653,7 @@ func loadSegment(path string, m *segMeta, sh, n int) segPayload {
 		})
 	}
 	if err := sr.Err(); err != nil {
-		return miss(err)
+		return corrupt(0, err.Error())
 	}
 	return p
 }

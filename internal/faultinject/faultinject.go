@@ -46,6 +46,22 @@ const (
 	// write exactly like a disk error would.
 	SnapshotWrite
 
+	// JournalAppend fires at the head of every write-ahead journal
+	// record append, before any bytes reach the segment file; a hook
+	// error fails the batch before it is acked — the "disk write
+	// failed" fault of the durability contract (DESIGN.md §14).
+	JournalAppend
+
+	// JournalFsync fires immediately before every journal fsync; a
+	// hook error surfaces exactly like fsync returning EIO, which
+	// under the per-commit policy must fail the batch before the ack.
+	JournalFsync
+
+	// JournalReplay fires once per journal segment at the head of
+	// recovery replay; a hook error aborts Open the way an unreadable
+	// segment would.
+	JournalReplay
+
 	numPoints
 )
 

@@ -10,9 +10,17 @@
 //
 // where code is one of: bad_request, not_found, method_not_allowed,
 // payload_too_large, canceled, deadline_exceeded, overloaded,
-// shutting_down, internal. Overload responses (HTTP 429) additionally
-// carry a Retry-After header with the ingest queue's backoff hint.
-// Clients branch on the code, never on the message.
+// shutting_down, starting, internal. Overload responses (HTTP 429)
+// additionally carry a Retry-After header with the ingest queue's
+// backoff hint. Clients branch on the code, never on the message.
+//
+// Liveness: /healthz reports {"status":"ok","epoch":N} with the
+// journal recovery report when there is one, answers 503 while the
+// service is still opening (journal replay in progress — see
+// NewPending/Attach) or after Close, and is deliberately EXEMPT from
+// the per-endpoint latency accounting: health probes must not skew
+// the SLO mix, and a 503 during a planned drain is not a server
+// error.
 package httpapi
 
 import (
@@ -33,19 +41,22 @@ import (
 
 // endpointNames fixes the latency-histogram universe: one histogram
 // per logical endpoint, allocated at construction so the hot path
-// only ever reads the map.
+// only ever reads the map. /healthz is deliberately absent — probes
+// are exempt from the latency SLO mix.
 var endpointNames = []string{
-	"healthz", "stats", "shards", "metrics",
+	"stats", "shards", "metrics",
 	"resolve", "authors_by_name", "author", "coauthors", "paper",
 	"network", "communities", "ego", "collaborators", "clustering",
 	"ingest",
 }
 
 // Server is the HTTP handler plus its request accounting. Construct
-// with New; it is an http.Handler.
+// with New (service ready) or NewPending + Attach (listen first,
+// recover second — /healthz answers 503 until Attach); it is an
+// http.Handler either way.
 type Server struct {
-	svc *iuad.Service
-	mux *http.ServeMux
+	svc atomic.Pointer[iuad.Service]
+	mux atomic.Pointer[http.ServeMux]
 
 	requests  atomic.Int64
 	status2xx atomic.Int64
@@ -74,28 +85,57 @@ type Metrics struct {
 	Ingest     iuad.IngestStats     `json:"ingest"`
 	Contention core.ContentionStats `json:"contention"`
 	Analytics  iuad.AnalyticsStats  `json:"analytics"`
-	HTTP       HTTPStats            `json:"http"`
+	// Journal is present only when the service runs with a write-ahead
+	// journal (WithJournal); includes the fsync-latency histogram.
+	Journal *iuad.JournalStats `json:"journal,omitempty"`
+	HTTP    HTTPStats          `json:"http"`
 }
 
-// New builds the production handler over svc.
+// New builds the production handler over a ready svc.
 func New(svc *iuad.Service) *Server {
-	s := &Server{
-		svc:     svc,
-		mux:     http.NewServeMux(),
-		latency: make(map[string]*hdrhist.Histogram, len(endpointNames)),
-	}
-	for _, name := range endpointNames {
-		s.latency[name] = hdrhist.New()
-	}
-	s.routes()
+	s := NewPending()
+	s.Attach(svc)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// NewPending builds a handler with no service attached yet, so the
+// listener can be up (and health probes answered) while journal
+// recovery runs. Every request — /healthz included — answers 503 with
+// stable code "starting" until Attach installs the service. Attach
+// must be called exactly once.
+func NewPending() *Server {
+	s := &Server{latency: make(map[string]*hdrhist.Histogram, len(endpointNames))}
+	for _, name := range endpointNames {
+		s.latency[name] = hdrhist.New()
+	}
+	pending := http.NewServeMux()
+	pending.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErrorCode(w, http.StatusServiceUnavailable, "starting",
+			"service is recovering; not serving yet")
+	})
+	pending.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	})
+	s.mux.Store(pending)
+	return s
+}
+
+// Attach installs the recovered service and atomically swaps the real
+// route table in; in-flight requests finish against the pending mux,
+// every later request sees the full API.
+func (s *Server) Attach(svc *iuad.Service) {
+	s.svc.Store(svc)
+	s.mux.Store(s.routes(svc))
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.Load().ServeHTTP(w, r)
+}
 
 // Metrics assembles the point-in-time metrics document (the same one
 // /metrics serves). Lock-free: counters are atomics, histograms are
-// concurrent, service accessors read published state.
+// concurrent, service accessors read published state. Before Attach
+// only the HTTP section is populated.
 func (s *Server) Metrics() Metrics {
 	eps := make(map[string]hdrhist.Summary, len(s.latency))
 	for name, h := range s.latency {
@@ -103,11 +143,7 @@ func (s *Server) Metrics() Metrics {
 			eps[name] = h.Snapshot()
 		}
 	}
-	return Metrics{
-		Epoch:      s.svc.Epoch(),
-		Ingest:     s.svc.Ingest(),
-		Contention: s.svc.Contention(),
-		Analytics:  s.svc.Analytics(),
+	m := Metrics{
 		HTTP: HTTPStats{
 			Requests:  s.requests.Load(),
 			Status2xx: s.status2xx.Load(),
@@ -117,6 +153,14 @@ func (s *Server) Metrics() Metrics {
 			Endpoints: eps,
 		},
 	}
+	if svc := s.svc.Load(); svc != nil {
+		m.Epoch = svc.Epoch()
+		m.Ingest = svc.Ingest()
+		m.Contention = svc.Contention()
+		m.Analytics = svc.Analytics()
+		m.Journal = svc.JournalStats()
+	}
+	return m
 }
 
 // statusRecorder captures the response status for the accounting
@@ -131,39 +175,51 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// handle registers fn under pattern with latency + status accounting
-// attributed to the logical endpoint name.
-func (s *Server) handle(pattern, name string, fn http.HandlerFunc) {
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		s.measured(name, w, r, fn)
+// routes builds the attached-state route table over svc. /healthz is
+// registered directly on the mux — not through handle — so probes
+// never enter the latency/status accounting.
+func (s *Server) routes(svc *iuad.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	// handle registers fn under pattern with latency + status
+	// accounting attributed to the logical endpoint name.
+	handle := func(pattern, name string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.measured(name, w, r, fn)
+		})
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if svc.Closed() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "closed", "epoch": svc.Epoch(),
+			})
+			return
+		}
+		resp := map[string]any{"status": "ok", "epoch": svc.Epoch()}
+		if rec := svc.JournalRecovery(); rec != nil {
+			resp["recovery"] = rec
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
-}
-
-func (s *Server) routes() {
-	svc := s.svc
-	s.handle("/healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": svc.Epoch()})
-	})
-	s.handle("/v1/stats", "stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/stats", "stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
-	s.handle("/shards", "shards", func(w http.ResponseWriter, r *http.Request) {
+	handle("/shards", "shards", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"epoch":      svc.Epoch(),
 			"shards":     svc.Shards(),
 			"contention": svc.Contention(),
 		})
 	})
-	s.handle("/metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("/metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
-	s.handle("/v1/network", "network", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/network", "network", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Network())
 	})
-	s.handle("/v1/communities", "communities", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/communities", "communities", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Communities())
 	})
-	s.handle("/v1/resolve", "resolve", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/resolve", "resolve", func(w http.ResponseWriter, r *http.Request) {
 		paper, err1 := strconv.Atoi(r.URL.Query().Get("paper"))
 		index, err2 := strconv.Atoi(r.URL.Query().Get("index"))
 		if err1 != nil || err2 != nil {
@@ -177,7 +233,7 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, a)
 	})
-	s.handle("/v1/authors", "authors_by_name", func(w http.ResponseWriter, r *http.Request) {
+	handle("/v1/authors", "authors_by_name", func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("name")
 		if name == "" {
 			writeErrorCode(w, http.StatusBadRequest, "bad_request", "listing needs ?name= (exact author name)")
@@ -185,7 +241,7 @@ func (s *Server) routes() {
 		}
 		writeJSON(w, http.StatusOK, svc.AuthorsByName(name))
 	})
-	s.mux.HandleFunc("/v1/authors/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/authors/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/authors/")
 		idStr, sub, _ := strings.Cut(rest, "/")
 		name := "author"
@@ -256,7 +312,7 @@ func (s *Server) routes() {
 			}
 		})
 	})
-	s.mux.HandleFunc("/v1/papers/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/papers/", func(w http.ResponseWriter, r *http.Request) {
 		s.measured("paper", w, r, func(w http.ResponseWriter, r *http.Request) {
 			idStr := strings.TrimPrefix(r.URL.Path, "/v1/papers/")
 			id, err := strconv.Atoi(idStr)
@@ -272,7 +328,8 @@ func (s *Server) routes() {
 			writeJSON(w, http.StatusOK, p)
 		})
 	})
-	s.handle("/v1/papers", "ingest", s.handleIngest)
+	handle("/v1/papers", "ingest", s.handleIngest)
+	return mux
 }
 
 // measured wraps one dynamic-path request with the same accounting
@@ -349,7 +406,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	svc := s.svc
+	svc := s.svc.Load()
 	trimmed := strings.TrimLeft(string(raw), " \t\r\n")
 	if strings.HasPrefix(trimmed, "[") {
 		var batch []paperIn
@@ -391,10 +448,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // context sentinels (which typed wrappers may carry) after them.
 func statusCodeOf(err error) (int, string) {
 	var ov *iuad.OverloadedError
+	var je *iuad.JournalError
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &ov):
 		return http.StatusTooManyRequests, "overloaded"
+	case errors.As(err, &je):
+		// The write-ahead record could not be made durable, so the
+		// batch was refused. This is a server fault, not a bad request.
+		return http.StatusInternalServerError, "internal"
 	case errors.Is(err, iuad.ErrClosed):
 		return http.StatusServiceUnavailable, "shutting_down"
 	case errors.Is(err, iuad.ErrUnknownAuthor),

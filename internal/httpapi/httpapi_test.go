@@ -348,3 +348,155 @@ func TestOverloadAnswers429(t *testing.T) {
 	release()
 	wg.Wait()
 }
+
+// TestPendingLifecycle pins the listen-first/recover-second contract:
+// a pending server answers 503 "starting" everywhere (healthz
+// included), Attach flips the full API on atomically, and after Close
+// healthz reports {"status":"closed"} with 503.
+func TestPendingLifecycle(t *testing.T) {
+	api := httpapi.NewPending()
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pending /v1/stats status %d, want 503", resp.StatusCode)
+	}
+	if code, _ := errorEnvelope(t, resp); code != "starting" {
+		t.Fatalf("pending code %q, want starting", code)
+	}
+	resp.Body.Close()
+
+	var health struct {
+		Status string  `json:"status"`
+		Epoch  *uint64 `json:"epoch"`
+	}
+	getHealth := func() (int, string, *uint64) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		health = struct {
+			Status string  `json:"status"`
+			Epoch  *uint64 `json:"epoch"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, health.Status, health.Epoch
+	}
+
+	if st, status, _ := getHealth(); st != 503 || status != "starting" {
+		t.Fatalf("pending healthz = %d %q, want 503 starting", st, status)
+	}
+
+	svc := testService(t)
+	api.Attach(svc)
+	if st, status, epoch := getHealth(); st != 200 || status != "ok" || epoch == nil {
+		t.Fatalf("attached healthz = %d %q epoch=%v, want 200 ok with epoch", st, status, epoch)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, status, _ := getHealth(); st != 503 || status != "closed" {
+		t.Fatalf("closed healthz = %d %q, want 503 closed", st, status)
+	}
+}
+
+// TestHealthzExemptFromAccounting pins the SLO-mix exemption: health
+// probes must leave every request counter and latency histogram
+// untouched.
+func TestHealthzExemptFromAccounting(t *testing.T) {
+	api := httpapi.New(testService(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	for i := 0; i < 25; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("healthz status %d", resp.StatusCode)
+		}
+	}
+	m := api.Metrics()
+	if m.HTTP.Requests != 0 || m.HTTP.Status2xx != 0 {
+		t.Fatalf("healthz leaked into accounting: %+v", m.HTTP)
+	}
+	if _, ok := m.HTTP.Endpoints["healthz"]; ok {
+		t.Fatalf("healthz has a latency histogram: %+v", m.HTTP.Endpoints)
+	}
+}
+
+// TestJournaledHealthAndMetrics opens a journaled service and checks
+// /healthz carries the recovery report shape and /metrics the journal
+// section, and that a journal append fault surfaces as a 500 with the
+// "internal" code (server fault, not client error) with nothing
+// committed.
+func TestJournaledHealthAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	svc := testService(t, iuad.WithJournal(dir))
+	api := httpapi.New(svc)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Recovery *struct {
+			Batches int `json:"batches"`
+		} `json:"recovery"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Recovery == nil {
+		t.Fatalf("journaled healthz %+v, want ok with recovery report", health)
+	}
+
+	var m httpapi.Metrics
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Journal == nil || m.Journal.Dir != dir {
+		t.Fatalf("metrics journal section %+v, want stats for %s", m.Journal, dir)
+	}
+
+	epochBefore := svc.Epoch()
+	disarm := faultinject.Arm(faultinject.JournalAppend, func() error {
+		return fmt.Errorf("injected append fault")
+	})
+	defer disarm()
+	resp, err = http.Post(srv.URL+"/v1/papers", "application/json",
+		strings.NewReader(`{"title":"J","authors":["Journal Fault"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("journal-fault status %d, want 500", resp.StatusCode)
+	}
+	if code, _ := errorEnvelope(t, resp); code != "internal" {
+		t.Fatalf("journal-fault code %q, want internal", code)
+	}
+	if svc.Epoch() != epochBefore {
+		t.Fatalf("failed journal write advanced the epoch: %d -> %d", epochBefore, svc.Epoch())
+	}
+}

@@ -142,10 +142,13 @@ type Stats struct {
 	CanceledBatches int64 `json:"canceled_batches"`
 
 	// Commits counts commit calls (== epoch publishes when every
-	// commit publishes); GroupedBatches counts batches that shared a
-	// commit with at least one other; MaxGroupBatches is the largest
-	// group ever committed together.
+	// commit publishes); FailedCommits the subset that returned an
+	// error (e.g. a journal append refused durability — every waiter
+	// in the group got the error, nothing was acked); GroupedBatches
+	// counts batches that shared a commit with at least one other;
+	// MaxGroupBatches is the largest group ever committed together.
 	Commits         int64 `json:"commits"`
+	FailedCommits   int64 `json:"failed_commits"`
 	GroupedBatches  int64 `json:"grouped_batches"`
 	MaxGroupBatches int64 `json:"max_group_batches"`
 
@@ -183,6 +186,7 @@ type Queue struct {
 	rejected        atomic.Int64
 	canceled        atomic.Int64
 	commits         atomic.Int64
+	failedCommits   atomic.Int64
 	groupedBatches  atomic.Int64
 	maxGroup        atomic.Int64
 
@@ -338,6 +342,9 @@ func (q *Queue) runLeader() {
 		}
 		res, err := q.commit(batch)
 		q.commits.Add(1)
+		if err != nil {
+			q.failedCommits.Add(1)
+		}
 
 		// Distribute: res covers a prefix of the concatenated batch —
 		// all of it when err is nil, and strictly less otherwise (the
@@ -397,6 +404,7 @@ func (q *Queue) Stats() Stats {
 		RejectedBatches: q.rejected.Load(),
 		CanceledBatches: q.canceled.Load(),
 		Commits:         q.commits.Load(),
+		FailedCommits:   q.failedCommits.Load(),
 		GroupedBatches:  q.groupedBatches.Load(),
 		MaxGroupBatches: q.maxGroup.Load(),
 		QueueWait:       q.queueWait.Snapshot(),

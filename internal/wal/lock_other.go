@@ -1,0 +1,28 @@
+//go:build !unix
+
+package wal
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// acquireLock on platforms without flock falls back to an O_EXCL
+// lock file: weaker (a crashed process leaves it behind and the
+// operator must remove it) but still refuses double-Open fast.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, &LockError{Dir: filepath.Dir(path), Err: ErrLocked}
+		}
+		return nil, &LockError{Dir: filepath.Dir(path), Err: err}
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireLock takes an exclusive, non-blocking flock on the journal's
+// lock file. flock is per open-file-description: a second Open in the
+// SAME process conflicts just like one from another process, and the
+// kernel drops the lock automatically when the holder dies (SIGKILL
+// included) — exactly the semantics a crash-recovery journal needs
+// (a pid file would go stale across kill -9).
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, &LockError{Dir: filepath.Dir(path), Err: err}
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, &LockError{Dir: filepath.Dir(path), Err: ErrLocked}
+		}
+		return nil, &LockError{Dir: filepath.Dir(path), Err: fmt.Errorf("flock: %w", err)}
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

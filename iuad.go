@@ -66,12 +66,27 @@
 //		}
 //	}
 //
+// For crash safety beyond the planned shutdown, open with a
+// write-ahead journal instead of a plain snapshot (DESIGN.md §14):
+// every acked batch is journaled before the ack, so a kill -9 — or,
+// with the per-commit fsync policy, a power cut — loses nothing:
+//
+//	svc, err := iuad.Open(corpus, iuad.WithJournal("wal/")) // journal owns wal/base.snap
+//	...
+//	_, err = svc.AddPapers(ctx, batch) // journaled, fsync'd, THEN acked
+//	// ... process is SIGKILLed here ...
+//
+//	// The restart replays the journal on top of the base snapshot and
+//	// serves bit-identically to a process that never crashed:
+//	svc, err = iuad.Open(nil, iuad.WithJournal("wal/"))
+//	rep := svc.JournalRecovery() // batches replayed, torn tail truncated?
+//
 // cmd/iuadserver exposes the same contract over HTTP (429 +
 // Retry-After, stable JSON error codes, SIGTERM drain-then-snapshot),
 // and cmd/loadgen drives an open-loop Zipf read/ingest workload
 // against it with SLO assertions — see DESIGN.md §12:
 //
-//	iuadserver -synthetic -addr :8080 -snapshot iuad.snap -ingest-queue 256 &
+//	iuadserver -synthetic -addr :8080 -journal /var/lib/iuad-wal -ingest-queue 256 &
 //	loadgen -url http://127.0.0.1:8080 -duration 10s -rate 200 \
 //	        -overload-rate 600 -ci -out load_report.json
 //

@@ -8,12 +8,14 @@ import (
 	"io/fs"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iuad/internal/bib"
 	"iuad/internal/core"
 	"iuad/internal/ingestq"
 	"iuad/internal/netstats"
+	"iuad/internal/wal"
 )
 
 // Service is the serving-first face of IUAD: a concurrency-safe façade
@@ -52,6 +54,15 @@ type Service struct {
 	snapshotPath string
 	recovery     *core.RecoveryReport
 	closed       bool
+
+	// Crash-safe continuous durability (WithJournal; DESIGN.md §14).
+	journal      *wal.Journal
+	journalBase  string            // base-snapshot path inside the journal dir
+	jrec         *wal.ReplayReport // what recovery replayed, nil when not journaled
+	compactEvery int               // journaled batches between base compactions (0 = never)
+	sinceBase    int               // guarded by mu
+	compacting   atomic.Bool       // one background compaction at a time
+	closedA      atomic.Bool       // lock-free mirror of closed for /healthz
 }
 
 // Stats is the point-in-time summary served by Service.Stats.
@@ -87,6 +98,8 @@ type options struct {
 	shards       int
 	allowPartial bool
 	ingest       ingestq.Config
+	journalDir   string
+	journal      wal.Config
 }
 
 // Option configures Open and NewService.
@@ -110,6 +123,34 @@ func WithWorkers(n int) Option {
 // (write to a temp file, then rename).
 func WithSnapshot(path string) Option {
 	return func(o *options) { o.snapshotPath = path }
+}
+
+// WithJournal turns on crash-safe continuous durability (DESIGN.md
+// §14): dir holds a base snapshot plus a write-ahead batch journal.
+// Every committed ingest batch is journaled — checksummed and fsynced
+// per the configured policy — BEFORE it lands in memory or is acked,
+// so an acked AddPapers survives kill -9, not just a clean Close.
+// Open loads the newest base snapshot from dir (fitting the corpus
+// only when none exists yet), replays the journal on top of it, and
+// produces assignments bit-identical to a process that never crashed.
+// After CompactEvery journaled batches a background compaction writes
+// a fresh base and garbage-collects the replayed segments, bounding
+// recovery time. Close compacts, so a clean shutdown restarts with an
+// empty journal.
+//
+// The directory admits ONE live service at a time: a second Open
+// fails fast with ErrJournalLocked. Mutually exclusive with
+// WithSnapshot (the journal owns its own base snapshot).
+func WithJournal(dir string) Option {
+	return func(o *options) { o.journalDir = dir }
+}
+
+// WithJournalConfig is WithJournal with explicit tuning: fsync policy
+// (default FsyncPerCommit), grouped-fsync cadence, segment roll size,
+// and the compaction threshold (default 64 batches; negative disables
+// automatic compaction).
+func WithJournalConfig(dir string, cfg JournalConfig) Option {
+	return func(o *options) { o.journalDir = dir; o.journal = cfg }
 }
 
 // WithShards partitions the serving state across n shards keyed by the
@@ -162,6 +203,12 @@ func Open(corpus *Corpus, opts ...Option) (*Service, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.journalDir != "" {
+		if o.snapshotPath != "" {
+			return nil, errors.New("iuad: WithJournal and WithSnapshot are mutually exclusive (the journal owns its base snapshot)")
+		}
+		return openJournaled(corpus, &o)
+	}
 	if o.snapshotPath != "" {
 		pl, epoch, seeds, rep, err := core.OpenServiceSnapshot(o.snapshotPath, o.allowPartial)
 		switch {
@@ -171,6 +218,15 @@ func Open(corpus *Corpus, opts ...Option) (*Service, error) {
 			return nil, fmt.Errorf("iuad: load snapshot %s: %w", o.snapshotPath, err)
 		}
 	}
+	pl, err := fitCorpus(corpus, &o)
+	if err != nil {
+		return nil, err
+	}
+	return newService(pl, 0, &o, nil, nil), nil
+}
+
+// fitCorpus runs the expensive fit path on a frozen corpus.
+func fitCorpus(corpus *Corpus, o *options) (*core.Pipeline, error) {
 	if corpus == nil {
 		return nil, ErrNoCorpus
 	}
@@ -184,11 +240,77 @@ func Open(corpus *Corpus, opts ...Option) (*Service, error) {
 	if o.workersSet {
 		cfg.Workers = o.workers
 	}
-	pl, err := core.Run(corpus, cfg)
+	return core.Run(corpus, cfg)
+}
+
+// openJournaled is the WithJournal recovery path: lock the journal
+// directory, load the newest base snapshot (or fit the corpus when
+// the directory is fresh), then replay the journaled batches on top —
+// exactly the commits a crashed process acked after its last base.
+// The replay re-runs the same deterministic ingest code, so the
+// recovered assignments are bit-identical to never having crashed.
+func openJournaled(corpus *Corpus, o *options) (*Service, error) {
+	j, err := wal.Open(o.journalDir, o.journal)
 	if err != nil {
 		return nil, err
 	}
-	return newService(pl, 0, &o, nil, nil), nil
+	ok := false
+	defer func() {
+		if !ok {
+			j.Close()
+		}
+	}()
+	base := j.BasePath()
+	pl, epoch, seeds, rep, err := core.OpenServiceSnapshot(base, o.allowPartial)
+	switch {
+	case err == nil:
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh directory (or crash before the first compaction): fit
+		// the corpus. The fit is deterministic, so journaled batches
+		// replay onto an identical starting state.
+		epoch, seeds, rep = 0, nil, nil
+		pl, err = fitCorpus(corpus, o)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("iuad: load base snapshot %s: %w", base, err)
+	}
+	s := newService(pl, epoch, o, seeds, rep)
+	s.journal = j
+	s.journalBase = base
+	s.compactEvery = o.journal.CompactEvery
+	if s.compactEvery == 0 {
+		s.compactEvery = wal.DefaultCompactEvery
+	} else if s.compactEvery < 0 {
+		s.compactEvery = 0
+	}
+	jrep, err := j.Recover(epoch, s.replayBatch)
+	if err != nil {
+		s.q.Close()
+		return nil, fmt.Errorf("iuad: journal recovery: %w", err)
+	}
+	s.jrec = jrep
+	s.sinceBase = jrep.Batches
+	ok = true
+	return s, nil
+}
+
+// replayBatch applies one journaled batch during recovery through the
+// same serialized ingest + capture/apply path a live commit takes.
+// No lock needed: recovery runs before the service is returned.
+func (s *Service) replayBatch(epoch uint64, batch []bib.Paper) error {
+	res, err := s.pl.AddPapers(context.Background(), batch)
+	if err != nil {
+		return err
+	}
+	if want := s.pub.CapturedEpoch() + 1; epoch != want {
+		return fmt.Errorf("iuad: journal batch publishes epoch %d, service expects %d", epoch, want)
+	}
+	if len(res) > 0 {
+		s.pub.Apply(s.pub.Capture(res))
+	}
+	return nil
 }
 
 // NewService wraps an already-fitted pipeline (e.g. one built with
@@ -286,12 +408,38 @@ func (s *Service) commitBatch(batch []bib.Paper) ([][]core.Assignment, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	// Write-ahead: journal the batch BEFORE it touches memory. A
+	// failed append fails the whole group here — before the ack, with
+	// no in-memory mutation to unwind — so a batch is acked only if
+	// its journal record is durable per the configured policy.
+	var tok wal.AppendToken
+	if s.journal != nil {
+		var jerr error
+		tok, jerr = s.journal.Append(s.pub.CapturedEpoch()+1, batch)
+		if jerr != nil {
+			s.mu.Unlock()
+			return nil, &JournalError{Err: jerr}
+		}
+	}
 	res, err := s.pl.AddPapers(context.Background(), batch)
+	if err != nil && len(res) == 0 && s.journal != nil {
+		// Nothing landed in memory: withdraw the record so recovery
+		// cannot replay a batch this process never applied. (With a
+		// committed prefix the record must stay — the prefix's waiters
+		// are acked; up-front validation makes that path unreachable
+		// for admitted batches.)
+		s.journal.Rollback(tok)
+	}
 	var pc *core.PublishCapture
 	if len(res) > 0 {
 		// Capture is the only publish work that must run under the
 		// write lock (it snapshots what the batch touched, O(touch)).
 		pc = s.pub.Capture(res)
+	}
+	compact := false
+	if err == nil && s.journal != nil && s.compactEvery > 0 {
+		s.sinceBase++
+		compact = s.sinceBase >= s.compactEvery
 	}
 	s.mu.Unlock()
 	if pc != nil {
@@ -300,7 +448,48 @@ func (s *Service) commitBatch(batch []bib.Paper) ([][]core.Assignment, error) {
 		// batches serialize, on that shard's apply lock.
 		s.pub.Apply(pc)
 	}
+	if compact && s.compacting.CompareAndSwap(false, true) {
+		// Base compaction runs off the commit path: ingest keeps
+		// acking against the journal while the fresh base is written.
+		// On failure sinceBase stays high, so the next commit retries.
+		go func() {
+			defer s.compacting.Store(false)
+			_ = s.Compact()
+		}()
+	}
 	return res, err
+}
+
+// Compact writes a fresh base snapshot at the current epoch into the
+// journal directory (via the crash-safe WriteFileAtomic / composite
+// manifest-rename path), then rotates the journal: replayed segments
+// are garbage-collected and appends continue in a new generation.
+// Crash-safety of the handoff: the base commit point is an atomic
+// rename, and until Rotate removes them the old segments are merely
+// stale (recovery GCs segments keyed to an older base epoch), so a
+// crash between the two steps recovers correctly from either base.
+// No-op errors: ErrClosed after Close; journaled services only.
+func (s *Service) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Service) compactLocked() error {
+	if s.journal == nil {
+		return errors.New("iuad: Compact needs a journaled service (WithJournal)")
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.saveFileLocked(s.journalBase); err != nil {
+		return err
+	}
+	if err := s.journal.Rotate(s.pub.CapturedEpoch()); err != nil {
+		return err
+	}
+	s.sinceBase = 0
+	return nil
 }
 
 // Ingest returns the ingest queue's accounting: current depth against
@@ -444,14 +633,47 @@ func (s *Service) Close() error {
 	// Persist BEFORE marking closed: a failed save (disk full, ...)
 	// leaves the service open so a later Close can retry the snapshot
 	// instead of reporting success for state that was never written.
-	if s.snapshotPath != "" {
+	switch {
+	case s.journal != nil:
+		// Compact on shutdown: the successor restarts from a fresh
+		// base with an empty journal (zero replay), and closing the
+		// journal releases the directory lock for it.
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+		if err := s.journal.Close(); err != nil {
+			return err
+		}
+	case s.snapshotPath != "":
 		if err := s.saveFileLocked(s.snapshotPath); err != nil {
 			return err
 		}
 	}
 	s.closed = true
+	s.closedA.Store(true)
 	return nil
 }
+
+// Closed reports whether Close has completed, without touching the
+// write lock — /healthz reads it even while a long commit holds mu.
+func (s *Service) Closed() bool { return s.closedA.Load() }
+
+// JournalStats returns the write-ahead journal's accounting (append
+// counters, segment sizes, fsync latency histogram), or nil when the
+// service was opened without WithJournal.
+func (s *Service) JournalStats() *JournalStats {
+	if s.journal == nil {
+		return nil
+	}
+	st := s.journal.Stats()
+	return &st
+}
+
+// JournalRecovery reports what journal recovery replayed when the
+// service was opened with WithJournal (nil otherwise): batches and
+// papers re-applied on top of the base snapshot, whether a torn tail
+// record was truncated, and the recovery wall time.
+func (s *Service) JournalRecovery() *ReplayReport { return s.jrec }
 
 // Shards returns the point-in-time per-shard summaries (last-touch
 // epoch, publish count, owned authors and slots, pending ingest

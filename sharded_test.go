@@ -420,3 +420,110 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("re-saved snapshot diverged from the recovered service")
 	}
 }
+
+// TestCorruptSegmentTypedError pins the two failure shapes of a
+// composite-snapshot open. A segment whose BYTES are wrong (bit rot,
+// torn write) must surface as the typed *core.ErrCorruptSegment with
+// the segment path and offset; a segment that is simply GONE must not
+// masquerade as corruption — and neither shape may wrap fs.ErrNotExist
+// (which the corpus-at-hand open path would misread as "no snapshot,
+// refit silently").
+func TestCorruptSegmentTypedError(t *testing.T) {
+	d := serviceDataset(67)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "svc.snap")
+	const shards = 3
+
+	live, err := iuad.Open(d.Corpus,
+		iuad.WithConfig(equivCoreConfig(1)), iuad.WithShards(shards), iuad.WithSnapshot(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.AddPapers(context.Background(), streamProbes(d, "corr", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(path + ".e*")
+	if err != nil || len(segs) != shards {
+		t.Fatalf("segment files %v (err %v), want %d", segs, err, shards)
+	}
+	sort.Strings(segs)
+	victim := segs[1]
+	pristine, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(victim, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	strictOpen := func() error {
+		t.Helper()
+		svc, err := iuad.Open(nil, iuad.WithSnapshot(path), iuad.WithShards(shards))
+		if err == nil {
+			svc.Close()
+			t.Fatal("strict open of a damaged composite succeeded")
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("damaged-composite error wraps fs.ErrNotExist: %v", err)
+		}
+		return err
+	}
+
+	// Flipped byte in the payload: checksum catches it, typed error
+	// names the file.
+	mangled := append([]byte(nil), pristine...)
+	mangled[len(mangled)/2] ^= 0xff
+	if err := os.WriteFile(victim, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = strictOpen()
+	var ce *core.ErrCorruptSegment
+	if !errors.As(err, &ce) {
+		t.Fatalf("flipped-byte open error %v, want *core.ErrCorruptSegment", err)
+	}
+	if ce.Path != victim {
+		t.Fatalf("corrupt path %q, want %q", ce.Path, victim)
+	}
+
+	// Truncated segment: size disagrees with the manifest; the typed
+	// error reports where the bytes stop.
+	restore()
+	if err := os.Truncate(victim, int64(len(pristine)/3)); err != nil {
+		t.Fatal(err)
+	}
+	ce = nil
+	if err = strictOpen(); !errors.As(err, &ce) {
+		t.Fatalf("truncated open error %v, want *core.ErrCorruptSegment", err)
+	}
+	if ce.Path != victim || ce.Offset != int64(len(pristine)/3) {
+		t.Fatalf("truncated segment error %+v, want path %q offset %d", ce, victim, len(pristine)/3)
+	}
+
+	// Corruption still admits partial recovery: the damaged shard is
+	// reported lost, the rest serve.
+	partial, err := iuad.Open(nil, iuad.WithSnapshot(path), iuad.WithShards(shards), iuad.WithPartialRecovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := partial.Recovery(); rep == nil || len(rep.MissingSegments) != 1 {
+		t.Fatalf("partial recovery of corrupt segment: %+v", partial.Recovery())
+	}
+	partial.Close()
+
+	// A MISSING segment is a different failure shape: still a loud
+	// strict-open error, but not a corruption claim about bytes that
+	// do not exist.
+	restore()
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	ce = nil
+	if err = strictOpen(); errors.As(err, &ce) {
+		t.Fatalf("missing segment misreported as corrupt: %+v", ce)
+	}
+}
